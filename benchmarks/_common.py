@@ -1,0 +1,139 @@
+"""Shared helpers for the paper-reproduction benches.
+
+Every bench regenerates one table or figure of the paper: it runs the
+matching scenario, prints the same rows/series the paper reports (plus
+the scaling factors applied), and appends the output to
+``benchmarks/results/<bench>.txt`` so the numbers survive pytest's
+output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig, FailureSpec
+from repro.experiments.report import format_table
+from repro.experiments.runner import ExperimentResult, run_experiment
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Receiver reordering mask used for Presto*/DRB, per the paper's
+#: methodology of masking reordering to isolate congestion mismatch.
+#: The mask must cover cross-path skew, which scales with serialization
+#: time — so 1 Gbps fabrics need a longer mask than 10 Gbps ones.
+PRESTO_MASK_US = 100.0
+PRESTO_MASK_US_1G = 800.0
+
+
+def emit(name: str, title: str, body: str) -> str:
+    """Print a bench report and persist it under ``benchmarks/results``."""
+    text = f"\n=== {title} ===\n{body}\n"
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text)
+    return text
+
+
+def scheme_kwargs(lb: str, topology) -> Dict:
+    """Per-scheme ExperimentConfig extras (reorder masking for sprayers)."""
+    if lb in ("presto", "drb"):
+        mask = (
+            PRESTO_MASK_US_1G
+            if topology.host_link_gbps <= 2.0
+            else PRESTO_MASK_US
+        )
+        return {"reorder_mask_us": mask}
+    return {}
+
+
+def run_grid(
+    topology,
+    schemes: Sequence[str],
+    loads: Sequence[float],
+    workload: str,
+    n_flows: int,
+    size_scale: float,
+    seeds: Sequence[int] = (1,),
+    time_scale: float = 1.0,
+    failure: Optional[FailureSpec] = None,
+    lb_params: Optional[Dict[str, Dict]] = None,
+    hermes_overrides: Optional[Dict] = None,
+    extra_drain_ns: int = 2_000_000_000,
+    presto_weighted: bool = False,
+) -> Dict[str, Dict[float, List[ExperimentResult]]]:
+    """Run a (scheme x load x seed) grid and return all results."""
+    out: Dict[str, Dict[float, List[ExperimentResult]]] = {}
+    for lb in schemes:
+        out[lb] = {}
+        for load in loads:
+            runs = []
+            for seed in seeds:
+                params = dict((lb_params or {}).get(lb, {}))
+                if lb == "presto":
+                    # Presto* sprays packets, not flowcells (paper §5.1).
+                    params.setdefault("flowcell_bytes", 1500)
+                    if presto_weighted:
+                        params["weight_by_capacity"] = True
+                config = ExperimentConfig(
+                    topology=topology,
+                    lb=lb,
+                    lb_params=params,
+                    workload=workload,
+                    load=load,
+                    n_flows=n_flows,
+                    seed=seed,
+                    size_scale=size_scale,
+                    time_scale=time_scale,
+                    failure=failure,
+                    hermes_overrides=hermes_overrides or {},
+                    extra_drain_ns=extra_drain_ns,
+                    **scheme_kwargs(lb, topology),
+                )
+                runs.append(run_experiment(config))
+            out[lb][load] = runs
+    return out
+
+
+def mean_over_seeds(runs: Iterable[ExperimentResult], metric) -> float:
+    values = [metric(r) for r in runs]
+    return sum(values) / len(values)
+
+
+def fct_table(
+    grid: Dict[str, Dict[float, List[ExperimentResult]]],
+    loads: Sequence[float],
+    metric=lambda r: r.mean_fct_ms,
+    metric_name: str = "avg FCT (ms)",
+) -> str:
+    """Render the classic paper layout: one row per scheme, one column
+    per load."""
+    headers = ["scheme"] + [f"{metric_name} @{load:.0%}" for load in loads]
+    rows = []
+    for lb, by_load in grid.items():
+        rows.append([lb] + [mean_over_seeds(by_load[load], metric) for load in loads])
+    return format_table(headers, rows)
+
+
+def normalized_table(
+    grid: Dict[str, Dict[float, List[ExperimentResult]]],
+    loads: Sequence[float],
+    baseline: str = "hermes",
+    metric=lambda r: r.mean_fct_ms,
+    metric_name: str = "FCT",
+) -> str:
+    """The paper's Figs. 13/14 layout: FCT normalized to Hermes."""
+    headers = ["scheme"] + [
+        f"norm {metric_name} @{load:.0%}" for load in loads
+    ]
+    base = {
+        load: mean_over_seeds(grid[baseline][load], metric) for load in loads
+    }
+    rows = []
+    for lb, by_load in grid.items():
+        rows.append(
+            [lb]
+            + [mean_over_seeds(by_load[load], metric) / base[load] for load in loads]
+        )
+    return format_table(headers, rows)

@@ -1,0 +1,55 @@
+"""Fig. 14 — asymmetric fabric, data-mining workload, normalized FCT.
+
+Same fabric as Fig. 13, data-mining traffic (large steady flows, few
+flowlet gaps).
+
+Paper shape: Hermes beats CONGA by 5-10% (timely rerouting resolves
+large-flow collisions on the 2 Gbps links) and beats CLOVE-ECN/LetFlow
+by 13-20% (starved of flowlets, they cannot rebalance).
+"""
+
+from _common import emit, mean_over_seeds, normalized_table, run_grid
+from repro.experiments.scenarios import bench_topology
+
+LOADS = (0.5, 0.8)
+SCHEMES = ("conga", "letflow", "clove-ecn", "presto", "hermes")
+N_FLOWS = 150
+SIZE_SCALE = 0.2
+TIME_SCALE = 0.2
+
+
+def reproduce():
+    return run_grid(
+        bench_topology(asymmetric=True),
+        SCHEMES,
+        LOADS,
+        "data-mining",
+        n_flows=N_FLOWS,
+        size_scale=SIZE_SCALE,
+        time_scale=TIME_SCALE,
+        seeds=(1,),
+        presto_weighted=True,
+    )
+
+
+def test_fig14_asym_datamining(once):
+    grid = once(reproduce)
+    body = "[overall avg]\n" + normalized_table(grid, LOADS) + "\n\n"
+    body += "[large avg]\n" + normalized_table(
+        grid, LOADS, metric=lambda r: r.stats.large.mean_ms(),
+        metric_name="large",
+    ) + "\n\n"
+    body += (
+        "paper: Hermes 5-10% better than CONGA and 13-20% better than"
+        " CLOVE-ECN/LetFlow (no flowlet gaps in steady traffic)"
+    )
+    emit("fig14_asym_datamining", "Fig. 14: asymmetric data-mining", body)
+
+    def mean(lb, load):
+        return mean_over_seeds(grid[lb][load], lambda r: r.mean_fct_ms)
+
+    for load in LOADS:
+        # Timeliness wins on steady traffic: Hermes leads the flowlet pack.
+        assert mean("hermes", load) < mean("letflow", load)
+        assert mean("hermes", load) < 1.05 * mean("clove-ecn", load)
+        assert mean("hermes", load) < 1.15 * mean("conga", load)

@@ -1,0 +1,78 @@
+"""Fig. 15 — CONGA under different flowlet timeout values.
+
+Paper setup: asymmetric fabric, web-search at 80% load, packet
+reordering masked, flowlet timeout in {50, 150, 500} us.
+
+Paper shape: 150 us beats 500 us by ~6% (more rerouting opportunities)
+but 50 us is ~30% *worse* than 150 us — with such small gaps CONGA
+changes paths vigorously and congestion mismatch bites even though
+reordering is masked.
+"""
+
+from _common import emit, mean_over_seeds
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import bench_topology
+from repro.sim.engine import microseconds
+
+TIMEOUTS_US = (50, 150, 500)
+LOAD = 0.8
+N_FLOWS = 200
+SIZE_SCALE = 0.2
+TIME_SCALE = 0.2
+
+
+def run_timeout(timeout_us: float, seed: int):
+    config = ExperimentConfig(
+        topology=bench_topology(asymmetric=True),
+        lb="conga",
+        lb_params={"flowlet_timeout_ns": microseconds(timeout_us)},
+        workload="web-search",
+        load=LOAD,
+        n_flows=N_FLOWS,
+        seed=seed,
+        size_scale=SIZE_SCALE,
+        time_scale=TIME_SCALE,
+        reorder_mask_us=100.0,  # mask reordering, as the paper does
+    )
+    return run_experiment(config)
+
+
+def reproduce():
+    return {
+        us: [run_timeout(us, seed) for seed in (1,)] for us in TIMEOUTS_US
+    }
+
+
+def test_fig15_conga_timeout(once):
+    results = once(reproduce)
+    rows = [
+        [
+            f"{us}us",
+            mean_over_seeds(runs, lambda r: r.mean_fct_ms),
+            mean_over_seeds(runs, lambda r: float(r.total_reroutes)),
+        ]
+        for us, runs in results.items()
+    ]
+    body = format_table(
+        ["flowlet timeout", "avg FCT (ms)", "flowlet reroutes"], rows
+    )
+    body += (
+        "\npaper: 150us ~6% better than 500us; 50us ~30% worse than 150us"
+        " (congestion mismatch from vigorous path changing)"
+    )
+    emit("fig15_conga_timeout", "Fig. 15: CONGA flowlet-timeout sweep", body)
+
+    fct = {
+        us: mean_over_seeds(runs, lambda r: r.mean_fct_ms)
+        for us, runs in results.items()
+    }
+    reroutes = {
+        us: mean_over_seeds(runs, lambda r: float(r.total_reroutes))
+        for us, runs in results.items()
+    }
+    # Smaller timeout => more vigorous path changing...
+    assert reroutes[50] > reroutes[150] > reroutes[500]
+    # ...and no benefit (usually a penalty) from the 50us vigour.
+    assert fct[50] > 0.95 * fct[150]

@@ -1,0 +1,83 @@
+"""Fig. 17 — packet blackhole at one spine switch.
+
+Paper setup: baseline fabric; one spine deterministically drops packets
+for half of the (src, dst) IP pairs from rack 1 to rack 8; web-search.
+
+Paper shape (17a avg FCT, 17b unfinished fraction):
+
+* Hermes detects the blackhole after 3 timeouts, every flow finishes,
+  and it is >1.6x better than everything else;
+* ECMP leaves ~1.5% of flows unfinished, inflating its average FCT
+  9-22x over Hermes;
+* CONGA shifts *more* flows onto the blackholed switch (it looks idle)
+  — as bad as or worse than ECMP;
+* Presto* finishes all flows (round robin) but with a hugely inflated
+  FCT; LetFlow is second best.
+
+Unfinished flows are charged the full run length in the penalized mean,
+matching how the paper's averages account for them.
+"""
+
+from _common import emit, mean_over_seeds, run_grid
+from repro.experiments.config import FailureSpec
+from repro.experiments.report import format_table
+from repro.experiments.scenarios import bench_topology
+
+LOAD = 0.4
+SCHEMES = ("ecmp", "presto", "letflow", "conga", "hermes")
+N_FLOWS = 120
+
+
+def reproduce():
+    return run_grid(
+        bench_topology(n_leaves=4, n_spines=4, hosts_per_leaf=3),
+        SCHEMES,
+        (LOAD,),
+        "web-search",
+        n_flows=N_FLOWS,
+        size_scale=1.0,
+        seeds=(1,),
+        failure=FailureSpec(
+            kind="blackhole", spine=0, src_leaf=0, dst_leaf=1,
+            pair_fraction=0.5,
+        ),
+        extra_drain_ns=3_000_000_000,
+    )
+
+
+def test_fig17_blackhole(once):
+    grid = once(reproduce)
+    rows = []
+    for lb in SCHEMES:
+        runs = grid[lb][LOAD]
+        rows.append([
+            lb,
+            mean_over_seeds(runs, lambda r: r.mean_fct_ms_with_penalty()),
+            mean_over_seeds(runs, lambda r: r.stats.unfinished_fraction),
+        ])
+    body = format_table(
+        ["scheme", "avg FCT incl. unfinished (ms)", "unfinished fraction"],
+        rows,
+    )
+    body += (
+        "\npaper: Hermes finishes everything and is >1.6x better; ECMP"
+        " ~1.5% unfinished (9-22x worse); CONGA as bad or worse than ECMP;"
+        " Presto* finishes but slowly; LetFlow second best"
+    )
+    emit("fig17_blackhole", "Fig. 17: packet blackhole", body)
+
+    def penalized(lb):
+        return mean_over_seeds(
+            grid[lb][LOAD], lambda r: r.mean_fct_ms_with_penalty()
+        )
+
+    def unfinished(lb):
+        return mean_over_seeds(
+            grid[lb][LOAD], lambda r: r.stats.unfinished_fraction
+        )
+
+    assert unfinished("hermes") == 0.0   # detection after 3 timeouts
+    assert unfinished("presto") <= unfinished("ecmp")
+    assert penalized("hermes") < penalized("ecmp")
+    assert penalized("hermes") < penalized("presto")
+    assert penalized("hermes") <= penalized("letflow") * 1.15

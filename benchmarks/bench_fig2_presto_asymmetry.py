@@ -1,0 +1,90 @@
+"""Fig. 2 — congestion mismatch: Presto under an asymmetric topology.
+
+The paper's Example 2: a 3x2 leaf-spine with the leaf0->spine1 link
+broken.  Flow B is a 9 Gbps rate-limited UDP flow from leaf 0 to leaf 2
+(forced through spine 0), flow A is a DCTCP flow from leaf 1 to leaf 2
+sprayed by Presto equally over both spines.  The ECN feedback from the
+congested bottom path throttles the whole flow, so A achieves only
+~1 Gbps instead of the ~11 Gbps the two paths could jointly offer, and
+the spine0->leaf2 queue oscillates.
+
+Reported: flow A goodput and the queue standard deviation at
+spine0->leaf2, for Presto vs Hermes (which keeps A on the clean path).
+"""
+
+from _common import emit
+from repro.experiments.report import format_table
+from repro.lb.factory import install_lb
+from repro.metrics.collector import QueueSampler
+from repro.net.fabric import Fabric
+from repro.net.topology import TopologyConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.transport.dctcp import DctcpFlow
+from repro.transport.tcp import MSS
+from repro.transport.udp import UdpFlow
+
+RUN_NS = 30_000_000  # 30 ms
+A_SIZE = 50_000 * MSS  # effectively unbounded within the run
+
+
+def build_fabric(seed=1):
+    config = TopologyConfig(
+        n_leaves=3,
+        n_spines=2,
+        hosts_per_leaf=2,
+        host_link_gbps=10.0,
+        spine_link_gbps=10.0,
+        link_overrides={(0, 1): 0.0},  # broken leaf0 - spine1 link
+        prop_delay_ns=1_000,
+        ecn_threshold_bytes=97_500,
+    )
+    return Fabric(Simulator(), config, RngStreams(seed))
+
+
+def run_scheme(lb: str):
+    fabric = build_fabric()
+    if lb == "presto":
+        install_lb(fabric, "presto", flowcell_bytes=64 * 1024)
+    else:
+        install_lb(fabric, lb)
+    hot_port = fabric.topology.spine_down[0][2]  # spine0 -> leaf2
+    sampler = QueueSampler(fabric.sim, [hot_port], period_ns=100_000)
+    sampler.start()
+
+    flow_b = UdpFlow(fabric, 0, 4, rate_bps=9e9, fixed_path=0)
+    mask = 200_000 if lb == "presto" else None
+    flow_a = DctcpFlow(fabric, 2, 5, A_SIZE, reorder_mask_ns=mask)
+    for flow in (flow_b, flow_a):
+        fabric.register_flow(flow)
+        flow.start()
+    fabric.sim.run(until=RUN_NS)
+    goodput_gbps = flow_a.bytes_sent * 8 / RUN_NS  # ~delivered within run
+    return goodput_gbps, sampler.stddev_backlog(hot_port.name) / 1_000
+
+
+def reproduce():
+    return {lb: run_scheme(lb) for lb in ("presto", "hermes")}
+
+
+def test_fig2_presto_asymmetry(once):
+    results = once(reproduce)
+    rows = [
+        [lb, goodput, stddev] for lb, (goodput, stddev) in results.items()
+    ]
+    body = format_table(
+        ["scheme", "flow A goodput (Gbps)", "spine0->leaf2 queue stddev (KB)"],
+        rows,
+    )
+    body += (
+        "\npaper: Presto's flow A collapses to ~1 Gbps with large queue"
+        " oscillations; a path-aware scheme keeps A at ~10 Gbps"
+    )
+    emit("fig2_presto_asymmetry", "Fig. 2: congestion mismatch (Presto)", body)
+
+    presto_goodput, presto_stddev = results["presto"]
+    hermes_goodput, hermes_stddev = results["hermes"]
+    # Congestion mismatch collapses Presto's throughput...
+    assert presto_goodput < 0.5 * hermes_goodput
+    # ...while the clean upper path could serve A at near line rate.
+    assert hermes_goodput > 6.0

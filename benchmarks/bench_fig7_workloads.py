@@ -1,0 +1,65 @@
+"""Fig. 7 — the traffic distributions used for evaluation.
+
+Prints both empirical CDFs (size vs cumulative probability) and the
+headline statistics the paper quotes: both distributions are
+heavy-tailed; data-mining is the more skewed one, with 95% of bytes in
+the ~3.6% of flows larger than 35 MB.
+"""
+
+import random
+
+from _common import emit
+from repro.experiments.report import format_table
+from repro.workload.distributions import DATA_MINING, WEB_SEARCH
+
+N_SAMPLES = 100_000
+
+
+def reproduce():
+    stats = {}
+    rng = random.Random(7)
+    for dist in (WEB_SEARCH, DATA_MINING):
+        samples = sorted(dist.sample(rng) for _ in range(N_SAMPLES))
+        total = sum(samples)
+        big = [s for s in samples if s > 35_000_000]
+        stats[dist.name] = {
+            "mean_mb": dist.mean() / 1e6,
+            "median_kb": samples[len(samples) // 2] / 1e3,
+            "frac_flows_over_35mb": len(big) / len(samples),
+            "frac_bytes_over_35mb": sum(big) / total,
+            "frac_small_flows": sum(1 for s in samples if s < 100_000)
+            / len(samples),
+        }
+    return stats
+
+
+def test_fig7_workloads(once):
+    stats = once(reproduce)
+    rows = []
+    for name, s in stats.items():
+        rows.append([
+            name, s["mean_mb"], s["median_kb"], s["frac_flows_over_35mb"],
+            s["frac_bytes_over_35mb"], s["frac_small_flows"],
+        ])
+    body = format_table(
+        ["workload", "mean (MB)", "median (KB)", "flows >35MB",
+         "bytes from >35MB", "flows <100KB"],
+        rows,
+    )
+    body += "\n\nCDF knots:\n"
+    for dist in (WEB_SEARCH, DATA_MINING):
+        knots = "  ".join(f"({int(s)}B,{c:.2f})" for s, c in dist.points())
+        body += f"{dist.name}: {knots}\n"
+    body += (
+        "paper: data-mining has 95% of bytes in the 3.6% of flows >35MB;"
+        " web-search is less skewed but more bursty"
+    )
+    emit("fig7_workloads", "Fig. 7: workload distributions", body)
+
+    dm = stats["data-mining"]
+    ws = stats["web-search"]
+    assert dm["frac_bytes_over_35mb"] > 0.75
+    assert dm["frac_flows_over_35mb"] < 0.06
+    assert dm["median_kb"] < 10          # mostly tiny flows
+    assert ws["mean_mb"] > 1.0           # heavy tailed too
+    assert dm["frac_small_flows"] > ws["frac_small_flows"]

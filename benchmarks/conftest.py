@@ -1,0 +1,19 @@
+"""Bench-suite configuration.
+
+Each bench runs once (rounds=1): the interesting output is the printed
+paper table, not the timing statistics, though pytest-benchmark still
+records wall time per experiment grid.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

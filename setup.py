@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The environment has no ``wheel`` package and no network access, so PEP
+517 editable installs fail; ``pip install -e . --no-build-isolation
+--no-use-pep517`` uses this shim instead.
+"""
+
+from setuptools import setup
+
+setup()

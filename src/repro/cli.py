@@ -1,0 +1,169 @@
+"""Command-line interface: run experiments without writing Python.
+
+Examples::
+
+    python -m repro run --lb hermes --workload web-search --load 0.6
+    python -m repro compare --schemes ecmp,conga,hermes --asymmetric
+    python -m repro probe-model --leaves 100 --spines 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.probing import probe_overhead_model
+from repro.experiments.config import ExperimentConfig, FailureSpec
+from repro.experiments.report import format_table
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.scenarios import (
+    bench_topology,
+    failure_bench_topology,
+    simulation_topology,
+    testbed_topology,
+)
+
+TOPOLOGIES = {
+    "bench": bench_topology,
+    "testbed": testbed_topology,
+    "simulation": simulation_topology,
+    "failure-bench": lambda asymmetric=False: failure_bench_topology(),
+}
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--topology", choices=sorted(TOPOLOGIES), default="bench")
+    parser.add_argument("--asymmetric", action="store_true")
+    parser.add_argument("--workload", default="web-search",
+                        choices=["web-search", "data-mining"])
+    parser.add_argument("--load", type=float, default=0.6)
+    parser.add_argument("--flows", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--size-scale", type=float, default=0.2)
+    parser.add_argument("--time-scale", type=float, default=None,
+                        help="defaults to --size-scale")
+    parser.add_argument("--transport", choices=["dctcp", "tcp"], default="dctcp")
+    parser.add_argument("--failure", choices=["random_drop", "blackhole"],
+                        default=None)
+    parser.add_argument("--drop-rate", type=float, default=0.02)
+
+
+def _config_from_args(args, lb: str) -> ExperimentConfig:
+    topology = TOPOLOGIES[args.topology](asymmetric=args.asymmetric)
+    failure = None
+    if args.failure:
+        failure = FailureSpec(kind=args.failure, spine=0,
+                              drop_rate=args.drop_rate)
+    time_scale = args.time_scale if args.time_scale is not None else args.size_scale
+    extra = {}
+    if lb in ("presto", "drb"):
+        extra["reorder_mask_us"] = (
+            800.0 if topology.host_link_gbps <= 2.0 else 100.0
+        )
+    return ExperimentConfig(
+        topology=topology,
+        lb=lb,
+        transport=args.transport,
+        workload=args.workload,
+        load=args.load,
+        n_flows=args.flows,
+        seed=args.seed,
+        size_scale=args.size_scale,
+        time_scale=time_scale,
+        failure=failure,
+        **extra,
+    )
+
+
+def _result_row(lb: str, result: ExperimentResult) -> List:
+    stats = result.stats
+    return [
+        lb,
+        result.mean_fct_ms,
+        stats.small.mean_ms(),
+        stats.small.p99_ms(),
+        stats.large.mean_ms(),
+        stats.unfinished_count,
+        result.total_reroutes,
+    ]
+
+
+RESULT_HEADERS = [
+    "scheme", "avg FCT (ms)", "small avg", "small p99", "large avg",
+    "unfinished", "reroutes",
+]
+
+
+def cmd_run(args) -> int:
+    result = run_experiment(_config_from_args(args, args.lb))
+    print(format_table(RESULT_HEADERS, [_result_row(args.lb, result)]))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    if not schemes:
+        print("no schemes given", file=sys.stderr)
+        return 2
+    rows = []
+    for lb in schemes:
+        result = run_experiment(_config_from_args(args, lb))
+        rows.append(_result_row(lb, result))
+    print(format_table(RESULT_HEADERS, rows))
+    return 0
+
+
+def cmd_probe_model(args) -> int:
+    model = probe_overhead_model(
+        n_leaves=args.leaves,
+        n_spines=args.spines,
+        hosts_per_leaf=args.hosts_per_leaf,
+        link_gbps=args.link_gbps,
+        probe_interval_us=args.interval_us,
+    )
+    rows = [
+        [name, vals["visibility"], vals["overhead"]]
+        for name, vals in model.items()
+    ]
+    print(format_table(["scheme", "visibility", "overhead (x capacity)"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hermes (SIGCOMM 2017) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("--lb", default="hermes")
+    _add_run_arguments(run_parser)
+    run_parser.set_defaults(fn=cmd_run)
+
+    compare_parser = sub.add_parser("compare", help="race several schemes")
+    compare_parser.add_argument("--schemes", default="ecmp,conga,hermes")
+    _add_run_arguments(compare_parser)
+    compare_parser.set_defaults(fn=cmd_compare)
+
+    probe_parser = sub.add_parser(
+        "probe-model", help="Table 6 probing overhead model"
+    )
+    probe_parser.add_argument("--leaves", type=int, default=100)
+    probe_parser.add_argument("--spines", type=int, default=100)
+    probe_parser.add_argument("--hosts-per-leaf", type=int, default=100)
+    probe_parser.add_argument("--link-gbps", type=float, default=10.0)
+    probe_parser.add_argument("--interval-us", type=float, default=500.0)
+    probe_parser.set_defaults(fn=cmd_probe_model)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

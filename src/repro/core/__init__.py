@@ -1,0 +1,38 @@
+"""Hermes: the paper's primary contribution.
+
+Three modules mirror the paper's design (Fig. 5):
+
+* :mod:`repro.core.sensing` — comprehensive sensing (§3.1): path
+  characterization from ECN fraction + RTT (Algorithm 1) and failure
+  detection from timeout / retransmission signals;
+* :mod:`repro.core.probing` — active probing guided by
+  power-of-two-choices plus the previous best path, with one probe agent
+  per rack (§3.1.3, Table 6);
+* :mod:`repro.core.hermes` — the per-host agent implementing timely yet
+  cautious rerouting (§3.2, Algorithm 2).
+"""
+
+from repro.core.parameters import HermesParams
+from repro.core.sensing import (
+    PATH_GOOD,
+    PATH_GRAY,
+    PATH_CONGESTED,
+    PATH_FAILED,
+    PathState,
+    HermesLeafState,
+)
+from repro.core.probing import HermesProber, probe_overhead_model
+from repro.core.hermes import HermesLB
+
+__all__ = [
+    "HermesParams",
+    "PATH_GOOD",
+    "PATH_GRAY",
+    "PATH_CONGESTED",
+    "PATH_FAILED",
+    "PathState",
+    "HermesLeafState",
+    "HermesProber",
+    "probe_overhead_model",
+    "HermesLB",
+]

@@ -1,0 +1,136 @@
+"""Hermes parameters (paper Table 4) and their derivation rules (§3.3).
+
+The paper derives several thresholds from the fabric itself:
+
+* ``T_RTT_low``  = base RTT + 20–40 µs (default +30 µs here);
+* ``T_RTT_high`` = base RTT + 1.5 × one-hop delay, where the one-hop
+  delay of a fully loaded hop is ``ECN marking threshold / link capacity``;
+* ``∆_RTT``      = one one-hop delay;
+
+so :meth:`HermesParams.resolve` computes any threshold left as ``None``
+from the topology configuration, exactly following those rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.net.topology import TopologyConfig
+from repro.sim.engine import microseconds, milliseconds
+
+
+@dataclass
+class HermesParams:
+    """Tunable parameters of Hermes with the paper's recommended defaults.
+
+    Attributes:
+        t_ecn: ECN-fraction threshold for a congested path (40%).
+        t_rtt_low_ns: RTT below which a path can be *good* (derived).
+        t_rtt_high_ns: RTT above which a path can be *congested* (derived).
+        t_rtt_high_hops: hop-delay multiplier used to derive
+            ``T_RTT_high``.  The paper uses 1.5; our default is 1.2
+            because this simulator's instantaneous-queue ECN marking
+            keeps DCTCP standing queues closer to the threshold than the
+            paper's ns-3 stack, so 1.2 hops marks the same "more than
+            one loaded hop" discrimination point (see DESIGN.md §4).
+        delta_rtt_ns: RTT margin for "notably better" (derived: 1 hop delay).
+        delta_ecn: ECN-fraction margin for "notably better" (3–10%).
+        rate_threshold_fraction: ``R`` — do not reroute flows sending above
+            this fraction of the edge link capacity (20–40%).
+        size_threshold_bytes: ``S`` — do not reroute flows that have sent
+            less than this (100–800 KB).
+        probe_interval_ns: probe period (100–500 µs).
+        probing_enabled: ablation switch for Fig. 18.
+        timely_rerouting: ablation switch — when off, flows never leave a
+            congested path (only failures/timeouts trigger movement).
+        cautious_rerouting: ablation switch — when off, the ``S``/``R``
+            gates and the notably-better margins are skipped (vigorous
+            rerouting, §2.2.2).
+        use_ecn: when False Hermes senses with RTT only — the paper's
+            configuration for plain TCP (§5.4 "Different transport
+            protocols"), whose packets carry no ECN.
+        ecn_gain / rtt_gain: EWMA gains for the per-path signal estimates.
+        retx_fraction_threshold: retransmission fraction marking a
+            non-congested path as failed (1%).
+        retx_sweep_interval_ns: ``τ`` — failure-sweep period (10 ms).
+        timeout_failure_count: timeouts with zero ACKs that flag a
+            blackholed (src, dst, path) (3).
+        failure_hold_ns: how long a retransmission-flagged path stays
+            failed before being reconsidered.
+        t_rtt_low_extra_ns: the "+20–40 µs" term of ``T_RTT_low``.
+    """
+
+    t_ecn: float = 0.40
+    t_rtt_low_ns: Optional[int] = None
+    t_rtt_high_ns: Optional[int] = None
+    t_rtt_high_hops: float = 1.2
+    delta_rtt_ns: Optional[int] = None
+    delta_ecn: float = 0.05
+    rate_threshold_fraction: float = 0.30
+    size_threshold_bytes: int = 600_000
+    probe_interval_ns: int = microseconds(500)
+    probing_enabled: bool = True
+    timely_rerouting: bool = True
+    cautious_rerouting: bool = True
+    use_ecn: bool = True
+    ecn_gain: float = 1.0 / 16.0
+    rtt_gain: float = 1.0 / 8.0
+    retx_fraction_threshold: float = 0.01
+    retx_sweep_interval_ns: int = milliseconds(10)
+    timeout_failure_count: int = 3
+    failure_hold_ns: int = milliseconds(50)
+    t_rtt_low_extra_ns: int = microseconds(30)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.t_ecn <= 1.0:
+            raise ValueError(f"T_ECN must be in (0, 1], got {self.t_ecn}")
+        if not 0.0 <= self.delta_ecn < 1.0:
+            raise ValueError(f"∆_ECN must be in [0, 1), got {self.delta_ecn}")
+        if not 0.0 < self.rate_threshold_fraction <= 1.0:
+            raise ValueError("R must be a fraction of link capacity in (0, 1]")
+        if self.size_threshold_bytes < 0:
+            raise ValueError("S must be non-negative")
+        if self.probe_interval_ns <= 0:
+            raise ValueError("probe interval must be positive")
+
+    def time_scaled(self, factor: float) -> "HermesParams":
+        """Scale the workload-timescale timers by ``factor``.
+
+        Benches that shrink flow sizes shrink simulated run spans with
+        them; scaling the detection windows identically preserves the
+        paper's timescale *ratios* (e.g. detection delay vs run span).
+        Network-timescale parameters are untouched: the RTT thresholds
+        (link speeds do not change) and the probe interval (information
+        freshness is measured in RTTs, not in flow lifetimes).
+        """
+        if factor <= 0:
+            raise ValueError("time scale factor must be positive")
+        return replace(
+            self,
+            retx_sweep_interval_ns=max(
+                1, int(self.retx_sweep_interval_ns * factor)
+            ),
+            failure_hold_ns=max(1, int(self.failure_hold_ns * factor)),
+        )
+
+    def resolve(self, config: TopologyConfig) -> "HermesParams":
+        """Fill derived thresholds from the fabric (paper §3.3 rules)."""
+        base_rtt = config.base_rtt_ns()
+        hop = config.one_hop_delay_ns()
+        return replace(
+            self,
+            t_rtt_low_ns=(
+                self.t_rtt_low_ns
+                if self.t_rtt_low_ns is not None
+                else base_rtt + self.t_rtt_low_extra_ns
+            ),
+            t_rtt_high_ns=(
+                self.t_rtt_high_ns
+                if self.t_rtt_high_ns is not None
+                else base_rtt + int(self.t_rtt_high_hops * hop)
+            ),
+            delta_rtt_ns=(
+                self.delta_rtt_ns if self.delta_rtt_ns is not None else hop
+            ),
+        )

@@ -1,0 +1,248 @@
+"""Comprehensive sensing (paper §3.1, Algorithm 1, Table 5).
+
+Each source rack keeps one :class:`PathState` per (destination leaf,
+path).  The state is fed by
+
+* **piggybacked transport signals**: every ACK contributes an ECN-echo
+  sample and an RTT sample for the path the data packet travelled;
+* **active probes** (see :mod:`repro.core.probing`): same two signals,
+  refreshed even on paths carrying no data;
+* **loss events**: per-path packet/retransmission counters swept every
+  ``τ`` (10 ms) to detect silent random drops, following the paper's
+  rule — a path with >1% retransmissions that is *not* congested is
+  failed (congestion also causes retransmissions, so congested paths are
+  exempt).
+
+Path characterization (Algorithm 1):
+
+====  ========  ===========================
+ECN   RTT       Characterization
+====  ========  ===========================
+low   low       **good**
+high  high      **congested**
+else  else      **gray**
+====  ========  ===========================
+
+with a ``failed`` overlay from the failure detectors.
+
+The table is shared by all hypervisors under the same rack — the paper's
+probe agents "share the probed information among all hypervisors under
+the same rack"; we extend the sharing to piggybacked signals as a
+rack-level aggregation (documented in DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple, TYPE_CHECKING
+
+from repro.core.parameters import HermesParams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.fabric import Fabric
+
+PATH_GOOD = 0
+PATH_GRAY = 1
+PATH_CONGESTED = 2
+PATH_FAILED = 3
+
+TYPE_NAMES = {0: "good", 1: "gray", 2: "congested", 3: "failed"}
+
+
+class PathState:
+    """Sensed condition of one (destination leaf, path).
+
+    ``f_ecn`` and ``rtt_ns`` are EWMA estimates; ``r_p`` is the DRE of the
+    rack's aggregate sending rate onto the path (used by Algorithm 2 to
+    spread new flows); the sent/retransmit counters feed the τ-sweep.
+    """
+
+    __slots__ = (
+        "f_ecn",
+        "rtt_ns",
+        "last_update",
+        "sent_pkts",
+        "retx_pkts",
+        "retx_by_flow",
+        "timeouts",
+        "failed_until",
+        "_rp_value",
+        "_rp_last",
+        "_rp_tau_ns",
+    )
+
+    def __init__(self, initial_rtt_ns: int) -> None:
+        self.f_ecn = 0.0
+        self.rtt_ns = float(initial_rtt_ns)
+        self.last_update = 0
+        self.sent_pkts = 0
+        self.retx_pkts = 0
+        self.retx_by_flow: Dict[int, int] = {}
+        self.timeouts = 0
+        self.failed_until = -1
+        self._rp_value = 0.0
+        self._rp_last = 0
+        self._rp_tau_ns = 200_000
+
+    def record_signal(self, ece: bool, rtt_ns: int, now: int,
+                      ecn_gain: float, rtt_gain: float) -> None:
+        """Fold in one (ECN echo, RTT) sample."""
+        self.f_ecn += ecn_gain * ((1.0 if ece else 0.0) - self.f_ecn)
+        self.rtt_ns += rtt_gain * (rtt_ns - self.rtt_ns)
+        self.last_update = now
+
+    def rp_add(self, size_bytes: int, now: int) -> None:
+        dt = now - self._rp_last
+        if dt > 0:
+            self._rp_value *= math.exp(-dt / self._rp_tau_ns)
+            self._rp_last = now
+        self._rp_value += size_bytes
+
+    def rp_bps(self, now: int) -> float:
+        """Aggregate local sending rate on this path, in bits/second."""
+        dt = now - self._rp_last
+        value = self._rp_value
+        if dt > 0:
+            value *= math.exp(-dt / self._rp_tau_ns)
+        return value * 8.0 / (self._rp_tau_ns / 1e9)
+
+    def is_failed(self, now: int) -> bool:
+        return now < self.failed_until
+
+
+class HermesLeafState:
+    """Shared per-rack path table + failure sweep.
+
+    Args:
+        fabric: the network (for the clock and topology).
+        leaf: which rack this table belongs to.
+        params: resolved Hermes parameters.
+    """
+
+    def __init__(self, fabric: "Fabric", leaf: int, params: HermesParams) -> None:
+        if params.t_rtt_low_ns is None or params.t_rtt_high_ns is None:
+            raise ValueError("params must be resolved against the topology first")
+        self.fabric = fabric
+        self.sim = fabric.sim
+        self.leaf = leaf
+        self.params = params
+        self._initial_rtt = fabric.config.base_rtt_ns()
+        self._table: Dict[Tuple[int, int], PathState] = {}
+        self.failed_detections = 0
+        self._sweep_started = False
+
+    def start_sweep(self) -> None:
+        """Begin the periodic τ failure sweep (idempotent)."""
+        if not self._sweep_started:
+            self._sweep_started = True
+            self.sim.schedule(self.params.retx_sweep_interval_ns, self._sweep)
+
+    def state(self, dst_leaf: int, path: int) -> PathState:
+        """The (created-on-demand) state for one path."""
+        key = (dst_leaf, path)
+        state = self._table.get(key)
+        if state is None:
+            state = PathState(self._initial_rtt)
+            self._table[key] = state
+        return state
+
+    # ------------------------------------------------------------------ #
+    # Signal ingestion
+    # ------------------------------------------------------------------ #
+
+    def record_ack(self, dst_leaf: int, path: int, ece: bool, rtt_ns: int) -> None:
+        self.state(dst_leaf, path).record_signal(
+            ece, rtt_ns, self.sim.now, self.params.ecn_gain, self.params.rtt_gain
+        )
+
+    def record_probe(self, dst_leaf: int, path: int, ece: bool, rtt_ns: int) -> None:
+        self.state(dst_leaf, path).record_signal(
+            ece, rtt_ns, self.sim.now, self.params.ecn_gain, self.params.rtt_gain
+        )
+
+    def record_sent(self, dst_leaf: int, path: int, wire_bytes: int) -> None:
+        state = self.state(dst_leaf, path)
+        state.sent_pkts += 1
+        state.rp_add(wire_bytes, self.sim.now)
+
+    #: Retransmissions counted per flow per sweep window.  A rerouted flow
+    #: can spuriously "retransmit" a whole window of in-flight packets
+    #: (New Reno misreads reordering as loss); capping per-flow
+    #: attribution keeps one such burst from failing a healthy path while
+    #: a genuinely lossy switch — which hits *many* flows a little each —
+    #: still accumulates signal.
+    RETX_PER_FLOW_CAP = 3
+
+    def record_retransmit(self, dst_leaf: int, path: int, flow_id: int = -1) -> None:
+        state = self.state(dst_leaf, path)
+        seen = state.retx_by_flow.get(flow_id, 0)
+        if seen < self.RETX_PER_FLOW_CAP:
+            state.retx_by_flow[flow_id] = seen + 1
+            state.retx_pkts += 1
+
+    def record_timeout(self, dst_leaf: int, path: int) -> None:
+        self.state(dst_leaf, path).timeouts += 1
+
+    def mark_failed(self, dst_leaf: int, path: int, hold_ns: Optional[int] = None) -> None:
+        """Overlay a failure on a path for ``hold_ns`` (default from params)."""
+        hold = hold_ns if hold_ns is not None else self.params.failure_hold_ns
+        state = self.state(dst_leaf, path)
+        state.failed_until = self.sim.now + hold
+        self.failed_detections += 1
+
+    # ------------------------------------------------------------------ #
+    # Classification (Algorithm 1)
+    # ------------------------------------------------------------------ #
+
+    def classify(self, dst_leaf: int, path: int) -> int:
+        """Characterize a path as good / gray / congested / failed."""
+        now = self.sim.now
+        state = self.state(dst_leaf, path)
+        if state.is_failed(now):
+            return PATH_FAILED
+        return self._congestion_class(state)
+
+    def _congestion_class(self, state: PathState) -> int:
+        params = self.params
+        if not params.use_ecn:
+            # RTT-only mode (plain TCP carries no ECN marks).
+            if state.rtt_ns < params.t_rtt_low_ns:
+                return PATH_GOOD
+            if state.rtt_ns > params.t_rtt_high_ns:
+                return PATH_CONGESTED
+            return PATH_GRAY
+        if state.f_ecn < params.t_ecn and state.rtt_ns < params.t_rtt_low_ns:
+            return PATH_GOOD
+        if state.f_ecn > params.t_ecn and state.rtt_ns > params.t_rtt_high_ns:
+            return PATH_CONGESTED
+        return PATH_GRAY
+
+    def notably_better(self, dst_leaf: int, candidate: int, current: int) -> bool:
+        """Paper §3.2: candidate beats current by both ∆_RTT *and* ∆_ECN."""
+        cand = self.state(dst_leaf, candidate)
+        cur = self.state(dst_leaf, current)
+        rtt_better = cur.rtt_ns - cand.rtt_ns > self.params.delta_rtt_ns
+        if not self.params.use_ecn:
+            return rtt_better
+        return rtt_better and cur.f_ecn - cand.f_ecn > self.params.delta_ecn
+
+    # ------------------------------------------------------------------ #
+    # τ-sweep: silent-random-drop detection
+    # ------------------------------------------------------------------ #
+
+    def _sweep(self) -> None:
+        params = self.params
+        for state in self._table.values():
+            if state.sent_pkts >= 10:  # need samples for a stable fraction
+                fraction = state.retx_pkts / state.sent_pkts
+                if (
+                    fraction > params.retx_fraction_threshold
+                    and self._congestion_class(state) != PATH_CONGESTED
+                ):
+                    state.failed_until = self.sim.now + params.failure_hold_ns
+                    self.failed_detections += 1
+            state.sent_pkts = 0
+            state.retx_pkts = 0
+            state.retx_by_flow.clear()
+            state.timeouts = 0
+        self.sim.schedule(params.retx_sweep_interval_ns, self._sweep)

@@ -1,0 +1,110 @@
+"""Experiment configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.net.topology import TopologyConfig
+from repro.sim.engine import seconds
+
+TRANSPORTS = ("dctcp", "tcp")
+FAILURE_KINDS = ("random_drop", "blackhole")
+
+
+@dataclass
+class FailureSpec:
+    """A switch malfunction to inject (paper §5.3.3).
+
+    Attributes:
+        kind: ``"random_drop"`` or ``"blackhole"``.
+        spine: index of the malfunctioning spine switch.
+        drop_rate: per-packet drop probability (random_drop).
+        src_leaf / dst_leaf / pair_fraction: which (src, dst) host pairs
+            the blackhole matches (blackhole).
+    """
+
+    kind: str
+    spine: int = 0
+    drop_rate: float = 0.02
+    src_leaf: int = 0
+    dst_leaf: int = 1
+    pair_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAILURE_KINDS:
+            raise ValueError(
+                f"unknown failure kind {self.kind!r}; known: {FAILURE_KINDS}"
+            )
+        if not 0.0 <= self.drop_rate <= 1.0:
+            raise ValueError("drop_rate must be in [0, 1]")
+        if not 0.0 <= self.pair_fraction <= 1.0:
+            raise ValueError("pair_fraction must be in [0, 1]")
+
+
+@dataclass
+class ExperimentConfig:
+    """One simulation run.
+
+    Attributes:
+        topology: the fabric.
+        lb: load-balancer name (see ``repro.lb.LB_REGISTRY``).
+        lb_params: extra keyword arguments for the scheme installer.
+        transport: ``"dctcp"`` (default, as in the paper) or ``"tcp"``.
+        workload: ``"web-search"`` or ``"data-mining"``.
+        load: offered load as a fraction of edge capacity.
+        n_flows: how many flows to generate.
+        seed: master random seed.
+        size_scale: flow sizes are multiplied by this (<1 speeds up
+            CPython runs; reported with every bench).
+        time_scale: every protocol wall-clock timer (RTO floor, probe
+            interval, failure sweep/hold, CONGA table aging) is
+            multiplied by this.  Shrinking it together with
+            ``size_scale`` keeps the paper's timescale ratios (RTO vs
+            FCT, detection delay vs run span) intact on scaled runs.
+        reorder_mask_us: receiver-side reordering mask for Presto*/DRB.
+        dupthresh: sender duplicate-ACK threshold.
+        hermes_overrides: field overrides applied on top of the
+            automatically scaled Hermes parameters (e.g. a failure bench
+            that scales the injected drop rate by ``1/size_scale`` must
+            scale ``retx_fraction_threshold`` identically to keep the
+            detector between congestion noise and failure signal).
+        max_cwnd: congestion-window cap in packets.
+        failure: optional switch malfunction.
+        extra_drain_ns: how long past the last arrival the run may last
+            before unfinished flows are declared (blackholed ECMP flows
+            never finish — the paper's Fig. 17b).
+        visibility_sampling: enable the Table 2 sampler.
+    """
+
+    topology: TopologyConfig
+    lb: str = "ecmp"
+    lb_params: Dict[str, Any] = field(default_factory=dict)
+    transport: str = "dctcp"
+    workload: str = "web-search"
+    load: float = 0.5
+    n_flows: int = 200
+    seed: int = 1
+    size_scale: float = 1.0
+    time_scale: float = 1.0
+    reorder_mask_us: Optional[float] = None
+    dupthresh: int = 3
+    max_cwnd: float = 800.0
+    hermes_overrides: Dict[str, Any] = field(default_factory=dict)
+    failure: Optional[FailureSpec] = None
+    extra_drain_ns: int = seconds(2.0)
+    visibility_sampling: bool = False
+
+    def __post_init__(self) -> None:
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {self.transport!r}; known: {TRANSPORTS}"
+            )
+        if not 0.0 < self.load:
+            raise ValueError("load must be positive")
+        if self.n_flows < 1:
+            raise ValueError("need at least one flow")
+        if self.size_scale <= 0:
+            raise ValueError("size_scale must be positive")
+        if self.time_scale <= 0:
+            raise ValueError("time_scale must be positive")

@@ -1,0 +1,187 @@
+"""Build a fabric from a config, run the flows, collect the results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.experiments.config import ExperimentConfig, FailureSpec
+from repro.lb.factory import install_lb
+from repro.metrics.fct import FctStats, FlowRecord
+from repro.metrics.visibility import VisibilitySampler
+from repro.net.fabric import Fabric
+from repro.net.failures import (
+    BlackholeFailure,
+    RandomDropFailure,
+    blackhole_pairs_between_racks,
+)
+from repro.sim.engine import Simulator, microseconds
+from repro.sim.rng import RngStreams
+from repro.transport.dctcp import DctcpFlow
+from repro.transport.tcp import TcpFlow
+from repro.workload.distributions import distribution_by_name
+from repro.workload.generator import FlowGenerator
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a bench needs to print a paper row."""
+
+    config: ExperimentConfig
+    stats: FctStats
+    sim_time_ns: int
+    events: int
+    total_reroutes: int
+    fabric: Optional[Fabric] = None
+    shared: Dict[str, Any] = field(default_factory=dict)
+    visibility_switch_pair: Optional[float] = None
+    visibility_host_pair: Optional[float] = None
+
+    @property
+    def mean_fct_ms(self) -> float:
+        return self.stats.mean_ms()
+
+    def mean_fct_ms_with_penalty(self) -> float:
+        """Average FCT counting unfinished flows at the full run length —
+        how the paper's blackhole figures account for them."""
+        return self.stats.mean_ms(penalize_unfinished_ns=self.sim_time_ns)
+
+
+def _install_failure(fabric: Fabric, spec: FailureSpec, rng: RngStreams) -> None:
+    if spec.kind == "random_drop":
+        failure = RandomDropFailure(spec.drop_rate, rng.get("failure"))
+        failure.install(fabric.topology, spec.spine)
+    else:
+        pairs = blackhole_pairs_between_racks(
+            fabric.topology, spec.src_leaf, spec.dst_leaf, spec.pair_fraction,
+            rng.get("failure"),
+        )
+        failure = BlackholeFailure(pairs)
+        failure.install(fabric.topology, spec.spine)
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Run one configured experiment to completion.
+
+    The run ends when every flow finished or ``extra_drain_ns`` elapsed
+    past the last arrival, whichever comes first; flows still active then
+    are reported as unfinished.
+    """
+    sim = Simulator()
+    rng = RngStreams(config.seed)
+    fabric = Fabric(sim, config.topology, rng)
+    lb_params = dict(config.lb_params)
+    if config.lb == "hermes" and "params" not in lb_params:
+        # Flow sizes are scaled down for CPython speed, so the S gate
+        # (minimum size sent before rerouting) must scale with them —
+        # otherwise caution would freeze into never-reroute.  Timers
+        # scale with time_scale to preserve timescale ratios.
+        from repro.core.parameters import HermesParams
+
+        params = HermesParams(
+            size_threshold_bytes=int(600_000 * config.size_scale)
+        )
+        if config.time_scale != 1.0:
+            params = params.time_scaled(config.time_scale)
+        if config.hermes_overrides:
+            from dataclasses import replace
+
+            params = replace(params, **config.hermes_overrides)
+        lb_params["params"] = params
+    if config.lb == "conga" and config.time_scale != 1.0 and "aging_ns" not in lb_params:
+        lb_params["aging_ns"] = max(1, int(10_000_000 * config.time_scale))
+    shared = install_lb(fabric, config.lb, **lb_params)
+    if config.failure is not None:
+        _install_failure(fabric, config.failure, rng)
+
+    distribution = distribution_by_name(config.workload)
+    if config.size_scale != 1.0:
+        distribution = distribution.scaled(config.size_scale)
+    generator = FlowGenerator(
+        config.topology, distribution, config.load, rng.get("workload")
+    )
+    arrivals = generator.arrival_list(config.n_flows)
+
+    sampler: Optional[VisibilitySampler] = None
+    if config.visibility_sampling:
+        sampler = VisibilitySampler(fabric)
+        sampler.start()
+
+    flow_kwargs: Dict[str, Any] = {
+        "dupthresh": config.dupthresh,
+        "max_cwnd": config.max_cwnd,
+        "min_rto_ns": max(1, int(10_000_000 * config.time_scale)),
+    }
+    if config.reorder_mask_us is not None:
+        flow_kwargs["reorder_mask_ns"] = microseconds(config.reorder_mask_us)
+    flow_cls = DctcpFlow if config.transport == "dctcp" else TcpFlow
+
+    flows: List[TcpFlow] = []
+    remaining = len(arrivals)
+
+    def on_done(flow) -> None:
+        nonlocal remaining
+        remaining -= 1
+        if sampler is not None:
+            sampler.flow_finished(flow)
+
+    fabric.on_flow_done = on_done
+
+    def start_flow(arrival) -> None:
+        flow = flow_cls(
+            fabric, arrival.src, arrival.dst, arrival.size_bytes, **flow_kwargs
+        )
+        fabric.register_flow(flow)
+        flows.append(flow)
+        if sampler is not None:
+            sampler.flow_started(flow)
+        flow.start()
+
+    for arrival in arrivals:
+        sim.schedule_at(arrival.time_ns, start_flow, arrival)
+
+    deadline = arrivals[-1].time_ns + config.extra_drain_ns
+    # Run in slices so we can stop as soon as all flows complete.
+    slice_ns = max(1, (deadline - sim.now) // 200)
+    while remaining > 0 and sim.now < deadline:
+        sim.run(until=min(sim.now + slice_ns, deadline))
+    if sampler is not None:
+        sampler.stop()
+
+    records = [
+        FlowRecord(
+            flow_id=f.flow_id,
+            src=f.src,
+            dst=f.dst,
+            size_bytes=f.size_bytes,
+            start_ns=f.start_time if f.start_time is not None else 0,
+            fct_ns=f.fct_ns,
+            retransmissions=f.retx_count,
+            timeouts=f.timeout_count,
+        )
+        for f in flows
+    ]
+    total_reroutes = sum(
+        host.lb.reroutes for host in fabric.hosts if host.lb is not None
+    )
+    from repro.metrics.fct import LARGE_FLOW_BYTES, SMALL_FLOW_BYTES
+
+    return ExperimentResult(
+        config=config,
+        stats=FctStats(
+            records,
+            small_bytes=int(SMALL_FLOW_BYTES * config.size_scale),
+            large_bytes=int(LARGE_FLOW_BYTES * config.size_scale),
+        ),
+        sim_time_ns=sim.now,
+        events=sim.events_fired,
+        total_reroutes=total_reroutes,
+        fabric=fabric,
+        shared=shared,
+        visibility_switch_pair=(
+            sampler.switch_pair_visibility() if sampler is not None else None
+        ),
+        visibility_host_pair=(
+            sampler.host_pair_visibility() if sampler is not None else None
+        ),
+    )

@@ -1,0 +1,35 @@
+"""Load balancers: the paper's baselines plus Hermes (in ``repro.core``).
+
+Every scheme implements the :class:`~repro.lb.base.LoadBalancer`
+interface.  Edge-based schemes (ECMP, Presto*, DRB, CLOVE-ECN,
+FlowBender, Hermes) keep per-host state; switch-based schemes (CONGA,
+LetFlow, DRILL) share their leaf switch's state between all hosts of the
+rack, which is exactly the visibility advantage the paper's Table 2
+quantifies.
+"""
+
+from repro.lb.base import LoadBalancer
+from repro.lb.ecmp import EcmpLB
+from repro.lb.presto import PrestoLB, DrbLB
+from repro.lb.letflow import LetFlowLB
+from repro.lb.conga import CongaLB, CongaLeafState
+from repro.lb.clove import CloveEcnLB
+from repro.lb.drill import DrillLB
+from repro.lb.flowbender import FlowBenderLB
+from repro.lb.factory import make_lb, install_lb, LB_REGISTRY
+
+__all__ = [
+    "LoadBalancer",
+    "EcmpLB",
+    "PrestoLB",
+    "DrbLB",
+    "LetFlowLB",
+    "CongaLB",
+    "CongaLeafState",
+    "CloveEcnLB",
+    "DrillLB",
+    "FlowBenderLB",
+    "make_lb",
+    "install_lb",
+    "LB_REGISTRY",
+]

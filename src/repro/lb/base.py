@@ -1,0 +1,80 @@
+"""Load balancer interface.
+
+One agent instance runs per host (the paper's hypervisor module).  The
+transport layer calls:
+
+* :meth:`select_path` for **every** outgoing data packet — the agent
+  returns the spine index to pin the packet to (packet granularity is
+  what lets Hermes react timely; flow/flowlet schemes simply return the
+  same path until their switching condition triggers);
+* :meth:`on_ack` for every ACK — carrying the data packet's path, its
+  ECN echo and the measured RTT (the piggybacked signals);
+* :meth:`on_path_feedback` — the CONGA-style quantized utilization metric
+  echoed by the receiver;
+* :meth:`on_timeout` / :meth:`on_retransmit` — loss events, the signals
+  Hermes uses to detect switch failures;
+* :meth:`on_flow_done` when the flow completes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.fabric import Fabric
+    from repro.net.host import Host
+    from repro.transport.base import FlowBase
+
+
+class LoadBalancer:
+    """Base agent: keeps topology handles, counts reroutes, does nothing."""
+
+    name = "base"
+
+    def __init__(self, host: "Host", fabric: "Fabric", rng: random.Random) -> None:
+        self.host = host
+        self.fabric = fabric
+        self.topology = fabric.topology
+        self.rng = rng
+        self.reroutes = 0  # path changes of already-placed flows
+
+    # -------------------------- helpers ------------------------------- #
+
+    def paths_to(self, dst_host: int) -> Tuple[int, ...]:
+        """Alive path ids from this host's leaf to the destination's."""
+        return self.topology.paths(self.host.leaf, self.topology.leaf_of(dst_host))
+
+    def _note_path(self, flow: "FlowBase", path: int) -> int:
+        """Record a path decision, counting reroutes of established flows."""
+        if flow.current_path >= 0 and path != flow.current_path:
+            self.reroutes += 1
+        return path
+
+    # -------------------------- interface ----------------------------- #
+
+    def select_path(self, flow: "FlowBase", wire_bytes: int) -> int:
+        """Choose the spine for this packet.  Must be overridden."""
+        raise NotImplementedError
+
+    def on_ack(
+        self,
+        flow: "FlowBase",
+        path_id: int,
+        ece: bool,
+        rtt_ns: int,
+        is_retx: bool,
+    ) -> None:
+        """Piggybacked congestion signals (ECN echo + RTT) for a path."""
+
+    def on_path_feedback(self, flow: "FlowBase", path_id: int, metric: int) -> None:
+        """CONGA-style utilization metric echoed by the far end."""
+
+    def on_timeout(self, flow: "FlowBase", path_id: int) -> None:
+        """The flow's RTO fired while pinned to ``path_id``."""
+
+    def on_retransmit(self, flow: "FlowBase", path_id: int) -> None:
+        """The flow retransmitted a segment on ``path_id``."""
+
+    def on_flow_done(self, flow: "FlowBase") -> None:
+        """The flow completed; drop any per-flow state."""

@@ -1,0 +1,43 @@
+"""DRILL: per-packet micro load balancing on local queue state.
+
+Ghorbani et al.'s switch-local scheme: for every packet, sample two
+random output queues plus the previously best one and send the packet to
+the shortest.  Only the *local* leaf uplink queues are consulted — DRILL
+has no view of downstream (spine→leaf) congestion, so it misbalances
+under asymmetry and, like the other baselines, cannot detect failures.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.lb.base import LoadBalancer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.transport.base import FlowBase
+
+
+class DrillLB(LoadBalancer):
+    """Power-of-two-choices over local uplink queue occupancy, per packet."""
+
+    name = "drill"
+
+    def __init__(self, host, fabric, rng, samples: int = 2) -> None:
+        super().__init__(host, fabric, rng)
+        if samples < 1:
+            raise ValueError("need at least one random sample")
+        self.samples = samples
+        self._best: dict[int, int] = {}  # dst_leaf -> last winning path
+
+    def select_path(self, flow: "FlowBase", wire_bytes: int) -> int:
+        dst_leaf = self.topology.leaf_of(flow.dst)
+        paths = self.topology.paths(self.host.leaf, dst_leaf)
+        k = min(self.samples, len(paths))
+        candidates = set(self.rng.sample(paths, k))
+        previous_best = self._best.get(dst_leaf)
+        if previous_best is not None and previous_best in paths:
+            candidates.add(previous_best)
+        uplinks = self.topology.leaf_up[self.host.leaf]
+        best = min(candidates, key=lambda p: uplinks[p].backlog_bytes)
+        self._best[dst_leaf] = best
+        return self._note_path(flow, best)

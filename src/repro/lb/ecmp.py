@@ -1,0 +1,31 @@
+"""ECMP: per-flow random hashing (RFC 2992).
+
+Each flow is hashed to one path once and never moves — oblivious to both
+congestion and failures, which is exactly why it wastes bisection
+bandwidth under hash collisions and never escapes a blackholed spine.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import TYPE_CHECKING
+
+from repro.lb.base import LoadBalancer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.transport.base import FlowBase
+
+
+class EcmpLB(LoadBalancer):
+    """Static per-flow hashing."""
+
+    name = "ecmp"
+
+    def select_path(self, flow: "FlowBase", wire_bytes: int) -> int:
+        if flow.current_path >= 0:
+            return flow.current_path
+        paths = self.paths_to(flow.dst)
+        digest = zlib.crc32(
+            f"{flow.flow_id}:{flow.src}:{flow.dst}".encode("ascii")
+        )
+        return paths[digest % len(paths)]

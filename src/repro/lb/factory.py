@@ -1,0 +1,121 @@
+"""Load-balancer factory: build and install agents on every host.
+
+``install_lb(fabric, "hermes", rng)`` wires up the whole scheme: per-host
+agents, shared per-leaf state where the scheme needs it (CONGA tables,
+Hermes path tables), and auxiliary machinery (Hermes probe agents).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.lb.base import LoadBalancer
+from repro.lb.clove import CloveEcnLB
+from repro.lb.conga import CongaLB, CongaLeafState
+from repro.lb.drill import DrillLB
+from repro.lb.ecmp import EcmpLB
+from repro.lb.flowbender import FlowBenderLB
+from repro.lb.letflow import LetFlowLB
+from repro.lb.presto import DrbLB, PrestoLB
+from repro.net.fabric import Fabric
+from repro.sim.engine import microseconds
+
+
+def _install_simple(cls: type) -> Callable[..., Dict[str, Any]]:
+    def installer(fabric: Fabric, **params: Any) -> Dict[str, Any]:
+        for host in fabric.hosts:
+            host.lb = cls(
+                host, fabric, fabric.rng.spawn(cls.name, host.host_id), **params
+            )
+        return {}
+
+    return installer
+
+
+def _install_conga(fabric: Fabric, **params: Any) -> Dict[str, Any]:
+    aging_ns = params.pop("aging_ns", None)
+    leaf_states = {
+        leaf: CongaLeafState(**({"aging_ns": aging_ns} if aging_ns else {}))
+        for leaf in range(fabric.config.n_leaves)
+    }
+    for host in fabric.hosts:
+        host.lb = CongaLB(
+            host,
+            fabric,
+            fabric.rng.spawn("conga", host.host_id),
+            leaf_states[host.leaf],
+            **params,
+        )
+    return {"leaf_states": leaf_states}
+
+
+def _install_hermes(fabric: Fabric, **params: Any) -> Dict[str, Any]:
+    # Imported lazily: repro.core.hermes itself depends on repro.lb.base,
+    # and a module-level import here would close that cycle.
+    from repro.core.hermes import HermesLB
+    from repro.core.parameters import HermesParams
+    from repro.core.probing import HermesProber
+    from repro.core.sensing import HermesLeafState
+
+    hermes_params: HermesParams = params.pop("params", HermesParams())
+    hermes_params = hermes_params.resolve(fabric.config)
+    leaf_states = {
+        leaf: HermesLeafState(fabric, leaf, hermes_params)
+        for leaf in range(fabric.config.n_leaves)
+    }
+    probers = {}
+    for leaf, state in leaf_states.items():
+        prober = HermesProber(
+            fabric, leaf, state, hermes_params, fabric.rng.spawn("probe", leaf)
+        )
+        prober.start()
+        probers[leaf] = prober
+    for host in fabric.hosts:
+        host.lb = HermesLB(
+            host,
+            fabric,
+            fabric.rng.spawn("hermes", host.host_id),
+            leaf_states[host.leaf],
+            hermes_params,
+        )
+    return {
+        "leaf_states": leaf_states,
+        "probers": probers,
+        "params": hermes_params,
+    }
+
+
+#: scheme name -> installer(fabric, **params) -> shared-state dict
+LB_REGISTRY: Dict[str, Callable[..., Dict[str, Any]]] = {
+    "ecmp": _install_simple(EcmpLB),
+    "presto": _install_simple(PrestoLB),
+    "drb": _install_simple(DrbLB),
+    "letflow": _install_simple(LetFlowLB),
+    "clove-ecn": _install_simple(CloveEcnLB),
+    "drill": _install_simple(DrillLB),
+    "flowbender": _install_simple(FlowBenderLB),
+    "conga": _install_conga,
+    "hermes": _install_hermes,
+}
+
+
+def install_lb(fabric: Fabric, name: str, **params: Any) -> Dict[str, Any]:
+    """Install scheme ``name`` on every host of ``fabric``.
+
+    Returns the scheme's shared state (empty for stateless schemes) so
+    harnesses can inspect probers, tables, detection counters, etc.
+    """
+    try:
+        installer = LB_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(LB_REGISTRY))
+        raise ValueError(f"unknown load balancer {name!r}; known: {known}") from None
+    return installer(fabric, **params)
+
+
+def make_lb(fabric: Fabric, name: str, host_id: int, **params: Any) -> LoadBalancer:
+    """Build a single agent (convenience for unit tests)."""
+    install_lb(fabric, name, **params)
+    agent = fabric.hosts[host_id].lb
+    assert agent is not None
+    return agent

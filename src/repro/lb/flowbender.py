@@ -1,0 +1,83 @@
+"""FlowBender: blind flow-level rerouting on end-host congestion signals.
+
+Kabbani et al.'s scheme: a flow keeps its (hash-derived) path while the
+fraction of ECN-marked ACKs per RTT stays below a threshold; when the
+fraction exceeds it — or an RTO fires — the flow re-hashes to a random
+different path.  Rerouting is *reactive and random*: no information about
+the new path is used, which the paper identifies as the source of its
+sub-optimal behaviour at high load.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, TYPE_CHECKING
+
+from repro.lb.base import LoadBalancer
+from repro.sim.engine import microseconds
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.transport.base import FlowBase
+
+
+class FlowBenderLB(LoadBalancer):
+    """Per-flow random rerouting when the ECN fraction crosses a threshold."""
+
+    name = "flowbender"
+
+    def __init__(
+        self,
+        host,
+        fabric,
+        rng,
+        ecn_threshold: float = 0.05,
+        epoch_ns: int = microseconds(100),
+    ) -> None:
+        super().__init__(host, fabric, rng)
+        if not 0.0 < ecn_threshold < 1.0:
+            raise ValueError("ECN threshold must be in (0, 1)")
+        self.ecn_threshold = ecn_threshold
+        self.epoch_ns = epoch_ns
+        # flow_id -> [path, epoch_start, acks, marked]
+        self._state: Dict[int, List[int]] = {}
+
+    def select_path(self, flow: "FlowBase", wire_bytes: int) -> int:
+        state = self._state.get(flow.flow_id)
+        if state is None:
+            path = self.rng.choice(self.paths_to(flow.dst))
+            self._state[flow.flow_id] = [path, self.fabric.sim.now, 0, 0]
+            return self._note_path(flow, path)
+        return state[0]
+
+    def _bounce(self, flow: "FlowBase", state: List[int]) -> None:
+        paths = [p for p in self.paths_to(flow.dst) if p != state[0]]
+        if paths:
+            state[0] = self.rng.choice(paths)
+            self.reroutes += 1
+        state[1] = self.fabric.sim.now
+        state[2] = 0
+        state[3] = 0
+
+    def on_ack(self, flow: "FlowBase", path_id: int, ece: bool, rtt_ns: int,
+               is_retx: bool) -> None:
+        state = self._state.get(flow.flow_id)
+        if state is None:
+            return
+        state[2] += 1
+        if ece:
+            state[3] += 1
+        now = self.fabric.sim.now
+        if now - state[1] >= self.epoch_ns and state[2] > 0:
+            if state[3] / state[2] > self.ecn_threshold:
+                self._bounce(flow, state)
+            else:
+                state[1] = now
+                state[2] = 0
+                state[3] = 0
+
+    def on_timeout(self, flow: "FlowBase", path_id: int) -> None:
+        state = self._state.get(flow.flow_id)
+        if state is not None:
+            self._bounce(flow, state)
+
+    def on_flow_done(self, flow: "FlowBase") -> None:
+        self._state.pop(flow.flow_id, None)

@@ -1,0 +1,46 @@
+"""LetFlow: per-flowlet random hashing (Vanini et al., NSDI 2017).
+
+A flow is re-hashed to a uniformly random path whenever an inactivity gap
+longer than the flowlet timeout is observed.  No congestion information
+is used at all — balance emerges because flowlets on congested paths
+stretch and those on idle paths shrink.  As the paper shows, this
+converges slowly when traffic is too steady to create flowlet gaps
+(data-mining workload) and cannot avoid failed switches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, TYPE_CHECKING
+
+from repro.lb.base import LoadBalancer
+from repro.sim.engine import microseconds
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.transport.base import FlowBase
+
+
+class LetFlowLB(LoadBalancer):
+    """Flowlet switching with random path selection."""
+
+    name = "letflow"
+
+    def __init__(self, host, fabric, rng, flowlet_timeout_ns: int = microseconds(150)) -> None:
+        super().__init__(host, fabric, rng)
+        if flowlet_timeout_ns <= 0:
+            raise ValueError("flowlet timeout must be positive")
+        self.flowlet_timeout_ns = flowlet_timeout_ns
+        self._paths: Dict[int, int] = {}
+        self.flowlets = 0
+
+    def select_path(self, flow: "FlowBase", wire_bytes: int) -> int:
+        now = self.fabric.sim.now
+        path = self._paths.get(flow.flow_id)
+        if path is None or now - flow.last_tx_time > self.flowlet_timeout_ns:
+            path = self.rng.choice(self.paths_to(flow.dst))
+            self._paths[flow.flow_id] = path
+            self.flowlets += 1
+            return self._note_path(flow, path)
+        return path
+
+    def on_flow_done(self, flow: "FlowBase") -> None:
+        self._paths.pop(flow.flow_id, None)

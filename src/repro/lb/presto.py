@@ -1,0 +1,96 @@
+"""Presto* and DRB: congestion-oblivious round-robin spraying.
+
+Presto sprays fixed-size *flowcells* (64 KB) round-robin across paths;
+DRB sprays individual packets.  Following the paper's methodology, the
+evaluation variant Presto* is paired with a receiver-side reordering
+buffer (``reorder_mask_ns`` on the flow) so its results isolate
+congestion mismatch from reordering artifacts.
+
+Under asymmetry the paper assigns Presto* static topology-dependent
+weights to equalize average path load; ``weight_by_capacity=True``
+reproduces that: each path is weighted by the bottleneck capacity of its
+(leaf→spine, spine→leaf) link pair.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, TYPE_CHECKING
+
+from repro.lb.base import LoadBalancer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.transport.base import FlowBase
+
+FLOWCELL_BYTES = 64 * 1024
+
+
+class PrestoLB(LoadBalancer):
+    """Per-flowcell round-robin spraying with optional static weights."""
+
+    name = "presto"
+
+    def __init__(self, host, fabric, rng, flowcell_bytes: int = FLOWCELL_BYTES,
+                 weight_by_capacity: bool = False) -> None:
+        super().__init__(host, fabric, rng)
+        if flowcell_bytes < 1:
+            raise ValueError("flowcell size must be >= 1 byte")
+        self.flowcell_bytes = flowcell_bytes
+        self.weight_by_capacity = weight_by_capacity
+        # Per destination leaf: the weighted path cycle and a shared cursor
+        # (hosts spread flows across the cycle instead of synchronizing).
+        self._cycles: Dict[int, List[int]] = {}
+        self._cursor: Dict[int, int] = {}
+        # Per flow: bytes left in the current cell and the cell's path.
+        self._cell: Dict[int, List[int]] = {}
+
+    def _cycle_for(self, dst_leaf: int) -> List[int]:
+        cycle = self._cycles.get(dst_leaf)
+        if cycle is not None:
+            return cycle
+        paths = self.topology.paths(self.host.leaf, dst_leaf)
+        if not self.weight_by_capacity:
+            cycle = list(paths)
+        else:
+            cfg = self.topology.config
+            rates = {
+                p: min(
+                    cfg.link_rate_gbps(self.host.leaf, p),
+                    cfg.link_rate_gbps(dst_leaf, p),
+                )
+                for p in paths
+            }
+            unit = min(rates.values())
+            cycle = []
+            for p in paths:
+                cycle.extend([p] * max(1, int(round(rates[p] / unit))))
+        self._cycles[dst_leaf] = cycle
+        self._cursor[dst_leaf] = self.rng.randrange(len(cycle))
+        return cycle
+
+    def select_path(self, flow: "FlowBase", wire_bytes: int) -> int:
+        dst_leaf = self.topology.leaf_of(flow.dst)
+        cycle = self._cycle_for(dst_leaf)
+        cell = self._cell.get(flow.flow_id)
+        if cell is None or cell[0] <= 0:
+            cursor = self._cursor[dst_leaf]
+            path = cycle[cursor]
+            self._cursor[dst_leaf] = (cursor + 1) % len(cycle)
+            self._cell[flow.flow_id] = [self.flowcell_bytes - wire_bytes, path]
+            return self._note_path(flow, path)
+        cell[0] -= wire_bytes
+        return cell[1]
+
+    def on_flow_done(self, flow: "FlowBase") -> None:
+        self._cell.pop(flow.flow_id, None)
+
+
+class DrbLB(PrestoLB):
+    """DRB: per-packet round-robin — Presto with a one-byte flowcell."""
+
+    name = "drb"
+
+    def __init__(self, host, fabric, rng, weight_by_capacity: bool = False) -> None:
+        super().__init__(
+            host, fabric, rng, flowcell_bytes=1,
+            weight_by_capacity=weight_by_capacity,
+        )

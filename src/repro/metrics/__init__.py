@@ -1,0 +1,19 @@
+"""Metrics: FCT statistics, queue/throughput sampling, visibility.
+
+FCT is the paper's primary metric, broken down into small (<100 KB) and
+large (>10 MB) flows; the visibility counter reproduces Table 2.
+"""
+
+from repro.metrics.fct import FlowRecord, FctStats, SMALL_FLOW_BYTES, LARGE_FLOW_BYTES
+from repro.metrics.collector import QueueSampler, UtilizationTracker
+from repro.metrics.visibility import VisibilitySampler
+
+__all__ = [
+    "FlowRecord",
+    "FctStats",
+    "SMALL_FLOW_BYTES",
+    "LARGE_FLOW_BYTES",
+    "QueueSampler",
+    "UtilizationTracker",
+    "VisibilitySampler",
+]

@@ -1,0 +1,76 @@
+"""Terminal plots: sparkline series and CDF tables.
+
+The benches and examples render everything as text (there is no display
+in CI); these helpers make time series (queue occupancy, goodput) and
+distributions legible without matplotlib.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render a series as a unicode sparkline, resampled to ``width``."""
+    if not values:
+        return ""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    resampled = _resample(list(values), min(width, len(values)))
+    lo = min(resampled)
+    hi = max(resampled)
+    span = hi - lo
+    if span == 0:
+        return _BARS[1] * len(resampled)
+    chars = []
+    for value in resampled:
+        idx = 1 + int((value - lo) / span * (len(_BARS) - 2))
+        chars.append(_BARS[min(idx, len(_BARS) - 1)])
+    return "".join(chars)
+
+
+def _resample(values: List[float], width: int) -> List[float]:
+    """Average-pool a series down to ``width`` buckets."""
+    if len(values) <= width:
+        return values
+    out = []
+    for i in range(width):
+        lo = i * len(values) // width
+        hi = max(lo + 1, (i + 1) * len(values) // width)
+        bucket = values[lo:hi]
+        out.append(sum(bucket) / len(bucket))
+    return out
+
+
+def cdf_table(
+    samples: Sequence[float], quantiles: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+) -> List[Tuple[float, float]]:
+    """Empirical quantiles of a sample as ``(q, value)`` pairs."""
+    if not samples:
+        raise ValueError("empty sample")
+    data = sorted(samples)
+    out = []
+    for q in quantiles:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        rank = min(len(data) - 1, int(q * len(data)))
+        out.append((q, float(data[rank])))
+    return out
+
+
+def series_block(
+    name: str, series: Sequence[Tuple[float, float]], unit: str = ""
+) -> str:
+    """A labelled sparkline block for a ``(time, value)`` series."""
+    values = [v for _, v in series]
+    if not values:
+        return f"{name}: (no samples)"
+    line = sparkline(values)
+    suffix = f" {unit}" if unit else ""
+    return (
+        f"{name}: {line}\n"
+        f"  min={min(values):.3g}{suffix}  mean="
+        f"{sum(values) / len(values):.3g}{suffix}  max={max(values):.3g}{suffix}"
+    )

@@ -1,0 +1,26 @@
+"""Network substrate: packets, queues, links, switches, topology, failures.
+
+The fabric is modelled as a graph of unidirectional *output ports* (a queue
+plus a serializing link).  Packets carry an explicit route — the ordered
+tuple of ports they will traverse — which reproduces XPath-style explicit
+path control: the sender pins the path, switches never re-hash.
+"""
+
+from repro.net.packet import Packet, PacketKind
+from repro.net.port import OutputPort
+from repro.net.topology import LeafSpineTopology, TopologyConfig
+from repro.net.fabric import Fabric
+from repro.net.host import Host
+from repro.net.failures import BlackholeFailure, RandomDropFailure
+
+__all__ = [
+    "Packet",
+    "PacketKind",
+    "OutputPort",
+    "LeafSpineTopology",
+    "TopologyConfig",
+    "Fabric",
+    "Host",
+    "BlackholeFailure",
+    "RandomDropFailure",
+]

@@ -1,0 +1,86 @@
+"""Fabric: glues the topology, hosts and flows into one running network.
+
+The fabric owns the flow registry and the packet forwarding loop.  Hosts
+hand packets to :meth:`Fabric.send`; ports call :meth:`Fabric.forward`
+after each link traversal; the final hop lands in :meth:`Host.receive`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.net.host import Host
+from repro.net.packet import Packet
+from repro.net.topology import LeafSpineTopology, TopologyConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.transport.base import FlowBase
+
+
+class Fabric:
+    """A running leaf–spine network.
+
+    Args:
+        sim: event engine.
+        config: topology parameters.
+        rng: seeded random streams shared by all components.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: TopologyConfig,
+        rng: Optional[RngStreams] = None,
+    ) -> None:
+        self.sim = sim
+        self.rng = rng if rng is not None else RngStreams(0)
+        self.topology = LeafSpineTopology(sim, config, self.forward)
+        self.hosts: List[Host] = [
+            Host(h, self.topology.leaf_of(h), self) for h in range(config.n_hosts)
+        ]
+        self.flows: Dict[int, "FlowBase"] = {}
+        self._next_flow_id = 0
+        self.on_flow_done: Optional[Callable[["FlowBase"], None]] = None
+
+    @property
+    def config(self) -> TopologyConfig:
+        return self.topology.config
+
+    # ------------------------------------------------------------------ #
+    # Flow registry
+    # ------------------------------------------------------------------ #
+
+    def allocate_flow_id(self) -> int:
+        """Hand out a unique flow id."""
+        flow_id = self._next_flow_id
+        self._next_flow_id += 1
+        return flow_id
+
+    def register_flow(self, flow: "FlowBase") -> None:
+        """Make a flow reachable from both endpoints."""
+        self.flows[flow.flow_id] = flow
+
+    def flow_finished(self, flow: "FlowBase") -> None:
+        """Called by a flow when it completes; fans out to the harness."""
+        if self.on_flow_done is not None:
+            self.on_flow_done(flow)
+
+    # ------------------------------------------------------------------ #
+    # Packet plumbing
+    # ------------------------------------------------------------------ #
+
+    def send(self, packet: Packet) -> bool:
+        """Inject a packet at its source host over ``packet.path_id``."""
+        packet.route = self.topology.route(packet.src, packet.dst, packet.path_id)
+        packet.hop = 0
+        return packet.route[0].enqueue(packet)
+
+    def forward(self, packet: Packet) -> None:
+        """Advance a packet one hop (port callback after propagation)."""
+        packet.hop += 1
+        if packet.hop < len(packet.route):
+            packet.route[packet.hop].enqueue(packet)
+        else:
+            self.hosts[packet.dst].receive(packet)

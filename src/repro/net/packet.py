@@ -1,0 +1,174 @@
+"""Packet model.
+
+A single mutable packet object travels the whole route (no copying): the
+fabric is single-threaded, and ownership passes hop by hop.  ACKs, probes
+and probe replies are separate packet instances.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+
+class PacketKind:
+    """Integer packet-kind tags (cheaper than an Enum in the hot path)."""
+
+    DATA = 0
+    ACK = 1
+    PROBE = 2
+    PROBE_REPLY = 3
+    UDP = 4
+
+    NAMES = {0: "DATA", 1: "ACK", 2: "PROBE", 3: "PROBE_REPLY", 4: "UDP"}
+
+
+HEADER_BYTES = 40
+ACK_BYTES = 64
+PROBE_BYTES = 64
+
+#: Priority levels for the strict-priority queues.  The paper's testbed
+#: classifies pure ACKs into the high-priority queue for accurate RTT
+#: measurement; we do the same for ACKs and probe replies.
+PRIO_HIGH = 0
+PRIO_LOW = 1
+
+
+class Packet:
+    """A packet in flight.
+
+    Attributes:
+        flow_id: owning flow (or probe id for probe packets).
+        src / dst: host ids.
+        seq: data packet index within the flow (-1 for control packets).
+        size: wire size in bytes (headers included).
+        kind: one of :class:`PacketKind`.
+        ack_seq: cumulative ACK (first not-yet-received seq), ACKs only.
+        path_id: spine index chosen by the sender (-1 = intra-rack).
+        ce: congestion-experienced mark set by queues (ECN CE codepoint).
+        ece: ECN echo carried by ACKs / probe replies.
+        ts_echo: sender timestamp, echoed back for RTT measurement.
+        is_retx: True if this transmission is a retransmission.
+        conga_metric: max quantized DRE utilization along the forward path
+            (stamped by ports; used by CONGA feedback).
+        route: tuple of :class:`OutputPort` the packet still traverses.
+        hop: index of the *current* port in ``route``.
+    """
+
+    __slots__ = (
+        "flow_id",
+        "src",
+        "dst",
+        "seq",
+        "size",
+        "kind",
+        "ack_seq",
+        "path_id",
+        "ecn_capable",
+        "ce",
+        "ece",
+        "ts_echo",
+        "is_retx",
+        "priority",
+        "conga_metric",
+        "route",
+        "hop",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        src: int,
+        dst: int,
+        seq: int,
+        size: int,
+        kind: int,
+        path_id: int = -1,
+        ecn_capable: bool = True,
+        priority: int = PRIO_LOW,
+    ) -> None:
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.seq = seq
+        self.size = size
+        self.kind = kind
+        self.ack_seq = -1
+        self.path_id = path_id
+        self.ecn_capable = ecn_capable
+        self.ce = False
+        self.ece = False
+        self.ts_echo = 0
+        self.is_retx = False
+        self.priority = priority
+        self.conga_metric = 0
+        self.route: Tuple = ()
+        self.hop = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = PacketKind.NAMES.get(self.kind, "?")
+        return (
+            f"Packet({kind} flow={self.flow_id} {self.src}->{self.dst} "
+            f"seq={self.seq} path={self.path_id} size={self.size})"
+        )
+
+
+def make_ack(data: Packet, ack_seq: int, now: int) -> Packet:
+    """Build the ACK for a received data packet.
+
+    The ACK echoes the data packet's CE mark (``ece``), path id, and the
+    sender timestamp, and travels the *same* spine in the reverse direction
+    so RTT measurements reflect the probed path.
+    """
+    ack = Packet(
+        flow_id=data.flow_id,
+        src=data.dst,
+        dst=data.src,
+        seq=data.seq,
+        size=ACK_BYTES,
+        kind=PacketKind.ACK,
+        path_id=data.path_id,
+        ecn_capable=False,
+        priority=PRIO_HIGH,
+    )
+    ack.ack_seq = ack_seq
+    ack.ece = data.ce
+    ack.ts_echo = data.ts_echo
+    ack.is_retx = data.is_retx  # Karn's rule: RTO ignores retransmit samples
+    ack.conga_metric = data.conga_metric
+    return ack
+
+
+def make_probe(probe_id: int, src: int, dst: int, path_id: int, now: int) -> Packet:
+    """Build a probe packet (64 B, travels the normal-priority queue so it
+    experiences real queueing delay and ECN marking)."""
+    probe = Packet(
+        flow_id=probe_id,
+        src=src,
+        dst=dst,
+        seq=-1,
+        size=PROBE_BYTES,
+        kind=PacketKind.PROBE,
+        path_id=path_id,
+        ecn_capable=True,
+        priority=PRIO_LOW,
+    )
+    probe.ts_echo = now
+    return probe
+
+
+def make_probe_reply(probe: Packet) -> Packet:
+    """Build the reply for a probe: high priority, echoes CE and timestamp."""
+    reply = Packet(
+        flow_id=probe.flow_id,
+        src=probe.dst,
+        dst=probe.src,
+        seq=-1,
+        size=PROBE_BYTES,
+        kind=PacketKind.PROBE_REPLY,
+        path_id=probe.path_id,
+        ecn_capable=False,
+        priority=PRIO_HIGH,
+    )
+    reply.ece = probe.ce
+    reply.ts_echo = probe.ts_echo
+    return reply

@@ -1,0 +1,218 @@
+"""Output port: a strict-priority drop-tail queue feeding a serializing link.
+
+Each port models one directed link of the fabric: the switch/host output
+queue, the serialization delay (``size * 8 / rate``), and the propagation
+delay.  ECN CE marking happens at enqueue when the instantaneous backlog
+exceeds the marking threshold, which is how commodity switches implement
+DCTCP-style marking.
+
+The port also keeps a DRE (Discounting Rate Estimator) — the exponentially
+decayed byte counter CONGA uses to estimate link utilization — implemented
+lazily (decay computed on read) so it costs no timer events.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+from repro.net.packet import Packet, PacketKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+#: Number of strict priority levels (0 = highest).
+NUM_PRIORITIES = 2
+
+#: CONGA quantizes DRE utilization to 3 bits.
+DRE_QUANTA = 7
+
+
+class OutputPort:
+    """A unidirectional link with a strict-priority drop-tail queue.
+
+    Args:
+        sim: the event engine.
+        name: human-readable name, e.g. ``"leaf0->spine2"``.
+        rate_bps: link rate in bits/second.
+        prop_delay_ns: propagation delay in nanoseconds.
+        buffer_bytes: shared buffer across priorities; excess is dropped.
+        ecn_threshold_bytes: CE-mark arriving ECN-capable packets when the
+            backlog exceeds this (0 disables marking).
+        forward: callback invoked when a packet has fully arrived at the
+            other end of the link.
+        dre_tau_ns: time constant of the DRE utilization estimator.
+    """
+
+    __slots__ = (
+        "sim",
+        "name",
+        "rate_bps",
+        "prop_delay_ns",
+        "buffer_bytes",
+        "ecn_threshold_bytes",
+        "forward",
+        "_queues",
+        "backlog_bytes",
+        "busy",
+        "drop_predicates",
+        "bytes_sent",
+        "pkts_sent",
+        "drops_overflow",
+        "drops_injected",
+        "max_backlog",
+        "dre_tau_ns",
+        "_dre_value",
+        "_dre_last",
+        "data_bytes_enqueued",
+    )
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        rate_bps: float,
+        prop_delay_ns: int,
+        buffer_bytes: int,
+        ecn_threshold_bytes: int,
+        forward: Optional[Callable[[Packet], None]] = None,
+        dre_tau_ns: int = 100_000,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_bps}")
+        self.sim = sim
+        self.name = name
+        self.rate_bps = rate_bps
+        self.prop_delay_ns = prop_delay_ns
+        self.buffer_bytes = buffer_bytes
+        self.ecn_threshold_bytes = ecn_threshold_bytes
+        self.forward = forward
+        self._queues: List[deque] = [deque() for _ in range(NUM_PRIORITIES)]
+        self.backlog_bytes = 0
+        self.busy = False
+        self.drop_predicates: List[Callable[[Packet, int], bool]] = []
+        # Statistics.
+        self.bytes_sent = 0
+        self.pkts_sent = 0
+        self.drops_overflow = 0
+        self.drops_injected = 0
+        self.max_backlog = 0
+        self.data_bytes_enqueued = 0
+        # DRE state.
+        self.dre_tau_ns = dre_tau_ns
+        self._dre_value = 0.0
+        self._dre_last = 0
+
+    # ------------------------------------------------------------------ #
+    # Enqueue / transmit
+    # ------------------------------------------------------------------ #
+
+    def tx_time_ns(self, size_bytes: int) -> int:
+        """Serialization delay for ``size_bytes`` on this link."""
+        return int(size_bytes * 8 * 1e9 / self.rate_bps)
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Accept a packet into the queue.
+
+        Returns ``False`` if the packet was dropped (buffer overflow or an
+        injected failure); the caller never learns which — exactly like a
+        real network, losses surface only through transport timeouts.
+        """
+        now = self.sim.now
+        for predicate in self.drop_predicates:
+            if predicate(packet, now):
+                self.drops_injected += 1
+                return False
+        if self.backlog_bytes + packet.size > self.buffer_bytes:
+            self.drops_overflow += 1
+            return False
+        if (
+            self.ecn_threshold_bytes > 0
+            and packet.ecn_capable
+            and self.backlog_bytes >= self.ecn_threshold_bytes
+        ):
+            packet.ce = True
+        self.backlog_bytes += packet.size
+        if self.backlog_bytes > self.max_backlog:
+            self.max_backlog = self.backlog_bytes
+        if packet.kind == PacketKind.DATA or packet.kind == PacketKind.UDP:
+            self.data_bytes_enqueued += packet.size
+        self._queues[packet.priority].append(packet)
+        if not self.busy:
+            self._start_next()
+        return True
+
+    def _start_next(self) -> None:
+        """Begin serializing the head-of-line packet (strict priority)."""
+        for queue in self._queues:
+            if queue:
+                packet = queue.popleft()
+                self.busy = True
+                self.sim.schedule(
+                    self.tx_time_ns(packet.size), self._tx_done, packet
+                )
+                return
+        self.busy = False
+
+    def _tx_done(self, packet: Packet) -> None:
+        """The last bit has left: account, stamp DRE, propagate."""
+        self.backlog_bytes -= packet.size
+        self.bytes_sent += packet.size
+        self.pkts_sent += 1
+        self._dre_add(packet.size)
+        if packet.kind == PacketKind.DATA or packet.kind == PacketKind.UDP:
+            metric = self.dre_quantized()
+            if metric > packet.conga_metric:
+                packet.conga_metric = metric
+        if self.forward is not None:
+            self.sim.schedule(self.prop_delay_ns, self.forward, packet)
+        self._start_next()
+
+    # ------------------------------------------------------------------ #
+    # DRE utilization estimator (CONGA §4; lazy exponential decay)
+    # ------------------------------------------------------------------ #
+
+    def _dre_decay(self, now: int) -> None:
+        dt = now - self._dre_last
+        if dt > 0:
+            self._dre_value *= math.exp(-dt / self.dre_tau_ns)
+            self._dre_last = now
+
+    def _dre_add(self, size_bytes: int) -> None:
+        self._dre_decay(self.sim.now)
+        self._dre_value += size_bytes
+
+    def dre_utilization(self) -> float:
+        """Estimated utilization in [0, ~1+]: decayed bytes over ``tau * C``."""
+        self._dre_decay(self.sim.now)
+        capacity_bytes = self.rate_bps / 8.0 * (self.dre_tau_ns / 1e9)
+        return self._dre_value / capacity_bytes
+
+    def dre_quantized(self) -> int:
+        """3-bit quantized utilization, the metric CONGA carries."""
+        util = self.dre_utilization()
+        return min(DRE_QUANTA, int(util * DRE_QUANTA + 0.5))
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_drops(self) -> int:
+        """All losses at this port, injected failures included."""
+        return self.drops_overflow + self.drops_injected
+
+    def utilization_since(self, start_ns: int, bytes_at_start: int) -> float:
+        """Average utilization between ``start_ns`` and now."""
+        elapsed = self.sim.now - start_ns
+        if elapsed <= 0:
+            return 0.0
+        sent = self.bytes_sent - bytes_at_start
+        return sent * 8 * 1e9 / (self.rate_bps * elapsed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OutputPort({self.name} {self.rate_bps / 1e9:.1f}Gbps "
+            f"backlog={self.backlog_bytes}B)"
+        )

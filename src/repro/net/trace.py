@@ -1,0 +1,163 @@
+"""Packet tracing: a pcap-equivalent for the simulated fabric.
+
+Wraps a fabric's ``send``/``forward``/host-delivery path and records one
+event per packet movement, with an optional filter.  Used for debugging
+load-balancer decisions ("which spine did flow 17's packet 3 take?") and
+in tests that assert on path usage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.net.fabric import Fabric
+from repro.net.packet import Packet, PacketKind
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observed packet movement."""
+
+    time_ns: int
+    kind: str          # "send" | "hop" | "deliver"
+    packet_kind: int   # PacketKind value
+    flow_id: int
+    src: int
+    dst: int
+    seq: int
+    path_id: int
+    port: Optional[str]  # port just about to carry / has carried the packet
+
+    @property
+    def packet_kind_name(self) -> str:
+        return PacketKind.NAMES.get(self.packet_kind, "?")
+
+
+class PacketTracer:
+    """Attach to a fabric and record packet movements.
+
+    Args:
+        fabric: the network to observe.
+        predicate: record only packets for which this returns True
+            (default: everything — beware, that is a lot of events).
+        max_events: stop recording past this many events (the simulation
+            keeps running; only the trace is truncated).
+    """
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        predicate: Optional[Callable[[Packet], bool]] = None,
+        max_events: int = 1_000_000,
+    ) -> None:
+        self.fabric = fabric
+        self.predicate = predicate
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self.truncated = False
+        self._orig_send = fabric.send
+        self._orig_forward = fabric.forward
+        self._patched_ports: List = []
+        self._attached = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def attach(self) -> "PacketTracer":
+        """Start observing (idempotent).
+
+        Ports capture the fabric's forward callback at construction, so
+        both the fabric method *and* every port's ``forward`` attribute
+        are patched.
+        """
+        if not self._attached:
+            self._attached = True
+            self.fabric.send = self._traced_send  # type: ignore[method-assign]
+            self.fabric.forward = self._traced_forward  # type: ignore[method-assign]
+            for port in self.fabric.topology.all_ports():
+                # Bound methods compare by ==, never by identity.
+                if port.forward == self._orig_forward:
+                    port.forward = self._traced_forward
+                    self._patched_ports.append(port)
+        return self
+
+    def detach(self) -> None:
+        """Stop observing and restore the fabric's methods."""
+        if self._attached:
+            self._attached = False
+            self.fabric.send = self._orig_send  # type: ignore[method-assign]
+            self.fabric.forward = self._orig_forward  # type: ignore[method-assign]
+            for port in self._patched_ports:
+                port.forward = self._orig_forward
+            self._patched_ports.clear()
+
+    def __enter__(self) -> "PacketTracer":
+        return self.attach()
+
+    def __exit__(self, *exc_info) -> None:
+        self.detach()
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    def _record(self, kind: str, packet: Packet, port: Optional[str]) -> None:
+        if len(self.events) >= self.max_events:
+            self.truncated = True
+            return
+        if self.predicate is not None and not self.predicate(packet):
+            return
+        self.events.append(
+            TraceEvent(
+                time_ns=self.fabric.sim.now,
+                kind=kind,
+                packet_kind=packet.kind,
+                flow_id=packet.flow_id,
+                src=packet.src,
+                dst=packet.dst,
+                seq=packet.seq,
+                path_id=packet.path_id,
+                port=port,
+            )
+        )
+
+    def _traced_send(self, packet: Packet) -> bool:
+        accepted = self._orig_send(packet)
+        port = packet.route[0].name if packet.route else None
+        self._record("send", packet, port)
+        return accepted
+
+    def _traced_forward(self, packet: Packet) -> None:
+        if packet.hop + 1 < len(packet.route):
+            self._record("hop", packet, packet.route[packet.hop + 1].name)
+        else:
+            self._record("deliver", packet, None)
+        self._orig_forward(packet)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def paths_used(self, flow_id: int) -> List[int]:
+        """Distinct path ids a flow's data packets used, in first-use order."""
+        seen: List[int] = []
+        for event in self.events:
+            if (
+                event.flow_id == flow_id
+                and event.kind == "send"
+                and event.packet_kind in (PacketKind.DATA, PacketKind.UDP)
+                and event.path_id not in seen
+            ):
+                seen.append(event.path_id)
+        return seen
+
+    def deliveries(self, flow_id: Optional[int] = None) -> int:
+        """Count of final-hop deliveries (optionally for one flow)."""
+        return sum(
+            1
+            for event in self.events
+            if event.kind == "deliver"
+            and (flow_id is None or event.flow_id == flow_id)
+        )

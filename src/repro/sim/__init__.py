@@ -1,0 +1,11 @@
+"""Discrete-event simulation engine.
+
+The engine is deliberately tiny: an integer-nanosecond clock, a binary-heap
+event queue with cancellable events, and seeded random-number streams.  All
+higher layers (network, transport, load balancers) are built on top of it.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.rng import RngStreams
+
+__all__ = ["Event", "Simulator", "RngStreams"]

@@ -1,0 +1,165 @@
+"""Event loop with an integer-nanosecond clock.
+
+Time is kept in integer nanoseconds so that event ordering is exact and
+runs are bit-reproducible across platforms.  Events scheduled for the same
+instant fire in scheduling order (FIFO), which the transport layer relies
+on (e.g. an ACK processed before the retransmission timer set in the same
+nanosecond).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_SEC = 1_000_000_000
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to integer nanoseconds."""
+    return int(round(value * NS_PER_SEC))
+
+
+def milliseconds(value: float) -> int:
+    """Convert milliseconds to integer nanoseconds."""
+    return int(round(value * NS_PER_MS))
+
+
+def microseconds(value: float) -> int:
+    """Convert microseconds to integer nanoseconds."""
+    return int(round(value * NS_PER_US))
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are one-shot.  ``cancel()`` marks the event dead; the engine
+    skips dead events when they surface, which is cheaper than removing
+    them from the heap.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time}, fn={getattr(self.fn, '__name__', self.fn)}, {state})"
+
+
+class Simulator:
+    """Minimal discrete-event simulator.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1000, callback, arg1, arg2)
+        sim.run()
+
+    The loop stops when the queue drains, when ``until`` is reached, or
+    when ``max_events`` events have fired.
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: list[Event] = []
+        self._seq: int = 0
+        self._events_fired: int = 0
+        self._running = False
+
+    def schedule(self, delay_ns: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay_ns`` nanoseconds from now."""
+        if delay_ns < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay_ns})")
+        return self.schedule_at(self.now + delay_ns, fn, *args)
+
+    def schedule_at(self, time_ns: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at an absolute simulation time."""
+        if time_ns < self.now:
+            raise ValueError(
+                f"cannot schedule at t={time_ns} before now={self.now}"
+            )
+        event = Event(time_ns, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def cancel(self, event: Optional[Event]) -> None:
+        """Cancel an event (no-op for ``None`` or already-cancelled events)."""
+        if event is not None:
+            event.cancel()
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far."""
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run the event loop.
+
+        Args:
+            until: stop once the clock would pass this absolute time.  The
+                clock is advanced to ``until`` on exit.
+            max_events: stop after this many events have fired.
+
+        Returns:
+            The number of events fired during this call.
+        """
+        queue = self._queue
+        fired_before = self._events_fired
+        self._running = True
+        try:
+            while queue:
+                event = queue[0]
+                if event.cancelled:
+                    heapq.heappop(queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                if max_events is not None and (
+                    self._events_fired - fired_before
+                ) >= max_events:
+                    break
+                heapq.heappop(queue)
+                self.now = event.time
+                self._events_fired += 1
+                event.fn(*event.args)
+        finally:
+            self._running = False
+        if until is not None and self.now < until:
+            self.now = until
+        return self._events_fired - fired_before
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock to zero."""
+        self._queue.clear()
+        self.now = 0
+        self._seq = 0
+        self._events_fired = 0

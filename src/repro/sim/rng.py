@@ -1,0 +1,37 @@
+"""Seeded random-number streams.
+
+Every stochastic component (workload generation, ECMP hashing, LetFlow
+path picks, failure injection, ...) draws from its own named stream so
+that changing one component never perturbs another — a standard trick for
+variance reduction and debuggability in network simulators.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+
+class RngStreams:
+    """A family of independent ``random.Random`` streams under one seed.
+
+    ``streams.get("letflow")`` always returns the same generator for the
+    same name, seeded by a stable hash of ``(master_seed, name)``.
+    """
+
+    def __init__(self, master_seed: int = 0) -> None:
+        self.master_seed = master_seed
+        self._streams: dict[str, random.Random] = {}
+
+    def get(self, name: str) -> random.Random:
+        """Return (creating if needed) the named stream."""
+        stream = self._streams.get(name)
+        if stream is None:
+            derived = (self.master_seed << 32) ^ zlib.crc32(name.encode("utf-8"))
+            stream = random.Random(derived)
+            self._streams[name] = stream
+        return stream
+
+    def spawn(self, name: str, index: int) -> random.Random:
+        """Return a stream for an indexed family, e.g. per-host streams."""
+        return self.get(f"{name}:{index}")

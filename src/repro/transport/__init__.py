@@ -1,0 +1,16 @@
+"""Transport protocols: TCP New Reno, DCTCP, UDP, reorder buffering.
+
+The paper's evaluation runs DCTCP (default) and TCP; we implement both on
+a shared New Reno engine plus a constant-rate UDP source for the
+congestion-mismatch microbenchmarks (Fig. 2).  A receiver-side reordering
+buffer (JUGGLER-style) is available to mask packet reordering for
+Presto*/DRB, matching the paper's methodology.
+"""
+
+from repro.transport.base import FlowBase
+from repro.transport.tcp import TcpFlow
+from repro.transport.dctcp import DctcpFlow
+from repro.transport.udp import UdpFlow
+from repro.transport.rto import RtoEstimator
+
+__all__ = ["FlowBase", "TcpFlow", "DctcpFlow", "UdpFlow", "RtoEstimator"]

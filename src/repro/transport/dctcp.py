@@ -1,0 +1,58 @@
+"""DCTCP on top of TCP New Reno.
+
+Implements the DCTCP control law from Alizadeh et al. (SIGCOMM 2010):
+the receiver echoes CE marks per packet (our ACKs are per-packet, so the
+echo is exact), the sender maintains the EWMA marking fraction ``alpha``
+updated once per window, and cuts ``cwnd`` by ``alpha / 2`` at most once
+per window when marks arrive.  Loss handling (fast retransmit, RTO) is
+inherited unchanged from New Reno, as in the paper's ns-3 setup.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net.packet import Packet
+from repro.transport.tcp import TcpFlow
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.fabric import Fabric
+
+
+class DctcpFlow(TcpFlow):
+    """A DCTCP flow.
+
+    Args:
+        g: EWMA gain for the marking-fraction estimate (paper: 1/16).
+        Remaining arguments are forwarded to :class:`TcpFlow`.
+    """
+
+    def __init__(self, fabric: "Fabric", src: int, dst: int, size_bytes: int,
+                 g: float = 1.0 / 16.0, **kwargs) -> None:
+        super().__init__(fabric, src, dst, size_bytes, **kwargs)
+        if not 0.0 < g <= 1.0:
+            raise ValueError(f"DCTCP gain g must be in (0, 1], got {g}")
+        self.g = g
+        self.ecn_capable = True
+        self.alpha = 1.0  # start conservative, as the DCTCP paper suggests
+        self._acks_total = 0
+        self._acks_marked = 0
+        self._alpha_seq = 0  # window boundary for the alpha update
+        self._cut_seq = -1   # window boundary for the once-per-RTT cut
+
+    def _ecn_feedback(self, ack: Packet, rtt_ns: int) -> None:
+        self._acks_total += 1
+        if ack.ece:
+            self._acks_marked += 1
+        # Update alpha once per window of data.
+        if ack.ack_seq >= self._alpha_seq and self._acks_total > 0:
+            fraction = self._acks_marked / self._acks_total
+            self.alpha = (1.0 - self.g) * self.alpha + self.g * fraction
+            self._acks_total = 0
+            self._acks_marked = 0
+            self._alpha_seq = self.snd_nxt
+        # React to marks at most once per window in flight.
+        if ack.ece and ack.ack_seq > self._cut_seq:
+            self.cwnd = max(self.cwnd * (1.0 - self.alpha / 2.0), 1.0)
+            self.ssthresh = self.cwnd
+            self._cut_seq = self.snd_nxt

@@ -1,0 +1,59 @@
+"""Retransmission-timeout estimation (RFC 6298 with the paper's floors).
+
+The paper sets both the initial and the minimum TCP RTO to 10 ms; we do
+the same by default.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import NS_PER_MS
+
+
+class RtoEstimator:
+    """SRTT/RTTVAR smoothing and exponential backoff.
+
+    Args:
+        init_rto_ns: RTO before any RTT sample exists.
+        min_rto_ns: floor applied to the computed RTO.
+        max_rto_ns: backoff ceiling.
+    """
+
+    __slots__ = ("srtt", "rttvar", "_rto", "min_rto_ns", "max_rto_ns", "_backoff")
+
+    def __init__(
+        self,
+        init_rto_ns: int = 10 * NS_PER_MS,
+        min_rto_ns: int = 10 * NS_PER_MS,
+        max_rto_ns: int = 1_000 * NS_PER_MS,
+    ) -> None:
+        self.srtt: float = 0.0
+        self.rttvar: float = 0.0
+        self._rto: int = init_rto_ns
+        self.min_rto_ns = min_rto_ns
+        self.max_rto_ns = max_rto_ns
+        self._backoff: int = 1
+
+    def update(self, rtt_ns: int) -> None:
+        """Fold in one RTT sample (Karn's rule: never call for a
+        retransmitted segment) and reset backoff."""
+        if rtt_ns <= 0:
+            return
+        if self.srtt == 0.0:
+            self.srtt = float(rtt_ns)
+            self.rttvar = rtt_ns / 2.0
+        else:
+            delta = abs(self.srtt - rtt_ns)
+            self.rttvar = 0.75 * self.rttvar + 0.25 * delta
+            self.srtt = 0.875 * self.srtt + 0.125 * rtt_ns
+        self._rto = int(self.srtt + max(4.0 * self.rttvar, 1.0))
+        self._backoff = 1
+
+    def backoff(self) -> None:
+        """Double the effective RTO after a timeout (capped)."""
+        self._backoff = min(self._backoff * 2, 64)
+
+    @property
+    def rto_ns(self) -> int:
+        """Current RTO with floors, ceiling, and backoff applied."""
+        rto = max(self._rto, self.min_rto_ns) * self._backoff
+        return min(rto, self.max_rto_ns)

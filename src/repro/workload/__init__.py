@@ -1,0 +1,24 @@
+"""Workloads: empirical flow-size distributions and Poisson flow arrival.
+
+The paper evaluates two production traces: *web-search* (the DCTCP paper)
+and *data-mining* (VL2).  Both are heavy-tailed; data-mining is the more
+skewed one (95% of bytes in the 3.6% of flows above 35 MB), which makes
+it the harder load-balancing case.
+"""
+
+from repro.workload.distributions import (
+    FlowSizeDistribution,
+    WEB_SEARCH,
+    DATA_MINING,
+    distribution_by_name,
+)
+from repro.workload.generator import FlowGenerator, FlowArrival
+
+__all__ = [
+    "FlowSizeDistribution",
+    "WEB_SEARCH",
+    "DATA_MINING",
+    "distribution_by_name",
+    "FlowGenerator",
+    "FlowArrival",
+]

@@ -1,0 +1,76 @@
+"""Edge-case tests: fabric capacity accounting and report formatting."""
+
+import pytest
+
+from repro.experiments.report import format_table
+from repro.net.topology import TopologyConfig
+
+
+class TestFabricCapacity:
+    def test_non_oversubscribed_uses_edge(self):
+        cfg = TopologyConfig(
+            n_leaves=2, n_spines=2, hosts_per_leaf=2,
+            host_link_gbps=10.0, spine_link_gbps=10.0,
+        )
+        assert cfg.fabric_capacity_bps() == 4 * 10e9
+
+    def test_oversubscribed_capped_by_uplinks(self):
+        cfg = TopologyConfig(
+            n_leaves=2, n_spines=2, hosts_per_leaf=6,
+            host_link_gbps=10.0, spine_link_gbps=10.0,
+        )
+        # Edge 120G, uplinks 2x2x10 = 40G.
+        assert cfg.fabric_capacity_bps() == 40e9
+
+    def test_cut_links_reduce_capacity(self):
+        base = TopologyConfig(
+            n_leaves=2, n_spines=2, hosts_per_leaf=6,
+            host_link_gbps=10.0, spine_link_gbps=10.0,
+        )
+        cut = TopologyConfig(
+            n_leaves=2, n_spines=2, hosts_per_leaf=6,
+            host_link_gbps=10.0, spine_link_gbps=10.0,
+            link_overrides={(0, 1): 0.0},
+        )
+        assert cut.fabric_capacity_bps() == base.fabric_capacity_bps() - 10e9
+
+    def test_degraded_links_reduce_capacity(self):
+        cfg = TopologyConfig(
+            n_leaves=2, n_spines=2, hosts_per_leaf=6,
+            host_link_gbps=10.0, spine_link_gbps=10.0,
+            link_overrides={(0, 1): 2.0},
+        )
+        assert cfg.fabric_capacity_bps() == 32e9
+
+    def test_single_leaf_uses_edge(self):
+        cfg = TopologyConfig(
+            n_leaves=1, n_spines=2, hosts_per_leaf=4,
+            host_link_gbps=10.0, spine_link_gbps=1.0,
+        )
+        assert cfg.fabric_capacity_bps() == 40e9
+
+
+class TestReportFormatting:
+    def test_large_floats_rounded(self):
+        text = format_table(["v"], [[12345.678]])
+        assert "12346" in text
+
+    def test_mid_floats_two_decimals(self):
+        text = format_table(["v"], [[3.14159]])
+        assert "3.14" in text
+
+    def test_small_floats_four_decimals(self):
+        text = format_table(["v"], [[0.01234]])
+        assert "0.0123" in text
+
+    def test_strings_pass_through(self):
+        text = format_table(["v"], [["hello"]])
+        assert "hello" in text
+
+    def test_integers_unchanged(self):
+        text = format_table(["v"], [[42]])
+        assert "42" in text
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2

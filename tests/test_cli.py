@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.lb == "hermes"
+        assert args.topology == "bench"
+        assert args.load == 0.6
+
+    def test_compare_schemes(self):
+        args = build_parser().parse_args(["compare", "--schemes", "a,b"])
+        assert args.schemes == "a,b"
+
+
+class TestCommands:
+    def test_probe_model(self, capsys):
+        assert main(["probe-model"]) == 0
+        out = capsys.readouterr().out
+        assert "brute-force" in out
+        assert "hermes" in out
+
+    def test_run_small(self, capsys):
+        code = main([
+            "run", "--lb", "ecmp", "--flows", "10", "--size-scale", "0.05",
+            "--load", "0.4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "avg FCT" in out
+        assert "ecmp" in out
+
+    def test_compare_small(self, capsys):
+        code = main([
+            "compare", "--schemes", "ecmp,hermes", "--flows", "10",
+            "--size-scale", "0.05", "--load", "0.4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hermes" in out
+
+    def test_compare_empty_schemes_fails(self):
+        assert main(["compare", "--schemes", ",", "--flows", "5"]) == 2
+
+    def test_run_with_failure(self, capsys):
+        code = main([
+            "run", "--lb", "hermes", "--flows", "10", "--size-scale", "0.05",
+            "--failure", "random_drop", "--drop-rate", "0.05",
+        ])
+        assert code == 0
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(ValueError):
+            main(["run", "--lb", "bogus", "--flows", "5"])

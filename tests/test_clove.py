@@ -1,0 +1,78 @@
+"""Unit tests for CLOVE-ECN."""
+
+import pytest
+
+from repro.lb.clove import MIN_WEIGHT, CloveEcnLB
+from repro.lb.factory import install_lb
+from repro.transport.tcp import MSS, TcpFlow
+
+
+class TestCloveWeights:
+    def test_initial_weights_equal(self, fabric):
+        install_lb(fabric, "clove-ecn")
+        agent = fabric.hosts[0].lb
+        weights = agent._weights_for(1)
+        assert weights == {0: 0.5, 1: 0.5}
+
+    def test_marked_ack_shifts_weight(self, fabric):
+        install_lb(fabric, "clove-ecn", beta=0.5)
+        agent = fabric.hosts[0].lb
+        flow = TcpFlow(fabric, 0, 2, 10 * MSS)
+        agent.on_ack(flow, 0, ece=True, rtt_ns=50_000, is_retx=False)
+        weights = agent._weights_for(1)
+        assert weights[0] == pytest.approx(0.25)
+        assert weights[1] == pytest.approx(0.75)
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_unmarked_ack_no_change(self, fabric):
+        install_lb(fabric, "clove-ecn")
+        agent = fabric.hosts[0].lb
+        flow = TcpFlow(fabric, 0, 2, 10 * MSS)
+        agent.on_ack(flow, 0, ece=False, rtt_ns=50_000, is_retx=False)
+        assert agent._weights_for(1) == {0: 0.5, 1: 0.5}
+
+    def test_weight_floor(self, fabric):
+        install_lb(fabric, "clove-ecn", beta=0.9)
+        agent = fabric.hosts[0].lb
+        flow = TcpFlow(fabric, 0, 2, 10 * MSS)
+        for _ in range(100):
+            agent.on_ack(flow, 0, ece=True, rtt_ns=50_000, is_retx=False)
+        weights = agent._weights_for(1)
+        assert weights[0] >= MIN_WEIGHT - 1e-12
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_invalid_beta_rejected(self, fabric):
+        with pytest.raises(ValueError):
+            CloveEcnLB(fabric.hosts[0], fabric, fabric.rng.get("t"), beta=1.5)
+
+
+class TestClovePathChoice:
+    def test_picks_follow_weights(self, fabric):
+        install_lb(fabric, "clove-ecn", flowlet_timeout_ns=1)
+        agent = fabric.hosts[0].lb
+        flow = TcpFlow(fabric, 0, 2, 10 * MSS)
+        # Crush path 0's weight; nearly every flowlet should use path 1.
+        for _ in range(50):
+            agent.on_ack(flow, 0, ece=True, rtt_ns=50_000, is_retx=False)
+        picks = []
+        for _ in range(200):
+            picks.append(agent.select_path(flow, 1500))
+            flow.last_tx_time = fabric.sim.now
+            fabric.sim.run(until=fabric.sim.now + 10)
+        assert picks.count(1) > 180
+
+    def test_stable_within_flowlet(self, fabric):
+        install_lb(fabric, "clove-ecn", flowlet_timeout_ns=1_000_000)
+        agent = fabric.hosts[0].lb
+        flow = TcpFlow(fabric, 0, 2, 10 * MSS)
+        first = agent.select_path(flow, 1500)
+        flow.last_tx_time = fabric.sim.now
+        assert agent.select_path(flow, 1500) == first
+
+    def test_flow_cleanup(self, fabric):
+        install_lb(fabric, "clove-ecn")
+        agent = fabric.hosts[0].lb
+        flow = TcpFlow(fabric, 0, 2, 10 * MSS)
+        agent.select_path(flow, 1500)
+        agent.on_flow_done(flow)
+        assert flow.flow_id not in agent._paths

@@ -1,0 +1,174 @@
+"""Behavioural tests for DCTCP."""
+
+import pytest
+
+from repro.transport.dctcp import DctcpFlow
+from repro.transport.tcp import MSS, TcpFlow
+from tests.conftest import make_fabric
+
+
+def run_flow(fabric, cls=DctcpFlow, src=0, dst=2, size=100 * MSS, **kwargs):
+    flow = cls(fabric, src, dst, size, **kwargs)
+    fabric.register_flow(flow)
+    flow.start()
+    fabric.sim.run(until=fabric.sim.now + 5_000_000_000)
+    return flow
+
+
+class TestDctcpBasics:
+    def test_completes_clean_transfer(self, fabric):
+        flow = run_flow(fabric)
+        assert flow.finished
+
+    def test_packets_are_ecn_capable(self, fabric):
+        assert DctcpFlow(fabric, 0, 2, MSS).ecn_capable is True
+        assert TcpFlow(fabric, 0, 2, MSS).ecn_capable is False
+
+    def test_invalid_gain_rejected(self, fabric):
+        with pytest.raises(ValueError):
+            DctcpFlow(fabric, 0, 2, MSS, g=0.0)
+
+    def test_alpha_decays_without_marks(self, fabric):
+        flow = run_flow(fabric, size=300 * MSS)
+        # Clean path: alpha decays from its conservative initial 1.0 a
+        # little with every window update.
+        assert flow.alpha < 1.0
+
+    def test_alpha_update_math(self, fabric):
+        """alpha <- (1-g) alpha + g F, once per window."""
+        flow = DctcpFlow(fabric, 0, 2, 1000 * MSS, g=0.5)
+        flow.alpha = 1.0
+        flow._acks_total, flow._acks_marked = 3, 3  # F = 1 so far
+        flow._alpha_seq = 0
+        flow.snd_nxt = 10
+
+        class FakeAck:
+            ack_seq = 5
+            ece = True
+
+        flow._ecn_feedback(FakeAck(), 100_000)
+        # F = 4/4 = 1.0 -> alpha = 0.5*1 + 0.5*1 = 1.0, counters reset
+        assert flow.alpha == 1.0
+        assert flow._acks_total == 0
+        flow._acks_total, flow._acks_marked = 4, 0
+
+        class CleanAck:
+            ack_seq = 11
+            ece = False
+
+        flow.snd_nxt = 20
+        flow._alpha_seq = 10
+        flow._ecn_feedback(CleanAck(), 100_000)
+        # F = 0/5 -> alpha = 0.5*1 + 0.5*0 = 0.5
+        assert flow.alpha == 0.5
+
+    def test_window_cut_once_per_window(self, fabric):
+        flow = DctcpFlow(fabric, 0, 2, 1000 * MSS)
+        flow.alpha = 1.0
+        flow.cwnd = 100.0
+        flow.snd_nxt = 50
+        flow._cut_seq = -1
+
+        class MarkedAck:
+            ack_seq = 10
+            ece = True
+
+        flow._ecn_feedback(MarkedAck(), 100_000)
+        assert flow.cwnd == 50.0  # cut by alpha/2 = 50%
+        flow._ecn_feedback(MarkedAck(), 100_000)
+        assert flow.cwnd == 50.0  # same window: no second cut
+
+
+class TestEcnReaction:
+    def _congested_fabric(self):
+        """Two senders into one receiver host force queueing at its
+        downlink and thus ECN marks."""
+        return make_fabric(hosts_per_leaf=3)
+
+    def test_marks_reduce_window_not_timeout(self):
+        fabric = self._congested_fabric()
+        flows = [
+            DctcpFlow(fabric, src, 3, 400 * MSS) for src in (0, 1, 2)
+        ]
+        for flow in flows:
+            fabric.register_flow(flow)
+            flow.start()
+        fabric.sim.run(until=10_000_000_000)
+        assert all(f.finished for f in flows)
+        assert all(f.timeout_count == 0 for f in flows)
+        # Contention was real: someone saw marks.
+        assert any(f._acks_marked or f.alpha > 0.0 for f in flows)
+
+    def test_queue_held_near_marking_threshold(self):
+        fabric = self._congested_fabric()
+        flows = [DctcpFlow(fabric, src, 3, 600 * MSS) for src in (0, 1, 2)]
+        for flow in flows:
+            fabric.register_flow(flow)
+            flow.start()
+        down = fabric.topology.leaf_down[3]
+        peak = 0
+        for _ in range(200):
+            fabric.sim.run(
+                until=fabric.sim.now + 50_000, max_events=None
+            )
+            peak = max(peak, down.backlog_bytes)
+            if all(f.finished for f in flows):
+                break
+        # DCTCP keeps the standing queue bounded well below the buffer.
+        assert peak < fabric.config.buffer_bytes / 2
+        assert down.drops_overflow == 0
+
+    def test_no_losses_under_incast(self):
+        fabric = self._congested_fabric()
+        flows = [DctcpFlow(fabric, src, 3, 300 * MSS) for src in (0, 1, 2)]
+        for flow in flows:
+            fabric.register_flow(flow)
+            flow.start()
+        fabric.sim.run(until=10_000_000_000)
+        assert sum(f.retx_count for f in flows) == 0
+
+    def test_fair_sharing_between_two_flows(self):
+        fabric = make_fabric(hosts_per_leaf=3)
+        a = DctcpFlow(fabric, 0, 3, 2000 * MSS)
+        b = DctcpFlow(fabric, 1, 3, 2000 * MSS)
+        for flow in (a, b):
+            fabric.register_flow(flow)
+            flow.start()
+        fabric.sim.run(until=30_000_000_000)
+        assert a.finished and b.finished
+        ratio = a.fct_ns / b.fct_ns
+        assert 0.6 < ratio < 1.7  # rough fairness
+
+    def test_ecn_feedback_seen_by_agent(self):
+        fabric = make_fabric(hosts_per_leaf=3)
+        seen = []
+
+        class Spy:
+            reroutes = 0
+
+            def select_path(self, flow, wire):
+                return 0
+
+            def on_ack(self, flow, path, ece, rtt, is_retx):
+                seen.append(ece)
+
+            def on_path_feedback(self, *a):
+                pass
+
+            def on_timeout(self, *a):
+                pass
+
+            def on_retransmit(self, *a):
+                pass
+
+            def on_flow_done(self, *a):
+                pass
+
+        for host in fabric.hosts[:3]:
+            host.lb = Spy()
+        flows = [DctcpFlow(fabric, src, 3, 400 * MSS) for src in (0, 1, 2)]
+        for flow in flows:
+            fabric.register_flow(flow)
+            flow.start()
+        fabric.sim.run(until=10_000_000_000)
+        assert any(seen), "agents should observe some ECN-echo marks"

@@ -1,0 +1,89 @@
+"""Unit tests for DRILL and FlowBender."""
+
+import pytest
+
+from repro.lb.drill import DrillLB
+from repro.lb.factory import install_lb
+from repro.lb.flowbender import FlowBenderLB
+from repro.net.packet import Packet, PacketKind
+from repro.transport.tcp import MSS, TcpFlow
+from tests.conftest import make_fabric
+
+
+class TestDrill:
+    def test_invalid_samples_rejected(self, fabric):
+        with pytest.raises(ValueError):
+            DrillLB(fabric.hosts[0], fabric, fabric.rng.get("t"), samples=0)
+
+    def test_prefers_shorter_local_queue(self, fabric):
+        install_lb(fabric, "drill")
+        agent = fabric.hosts[0].lb
+        # Fill uplink 0's queue.
+        up = fabric.topology.leaf_up[0][0]
+        for i in range(50):
+            up.enqueue(Packet(9, 0, 2, i, 1500, PacketKind.DATA, path_id=0))
+        flow = TcpFlow(fabric, 0, 2, 10 * MSS)
+        picks = {agent.select_path(flow, 1500) for _ in range(10)}
+        assert picks == {1}
+
+    def test_remembers_best(self, fabric):
+        install_lb(fabric, "drill")
+        agent = fabric.hosts[0].lb
+        flow = TcpFlow(fabric, 0, 2, 10 * MSS)
+        agent.select_path(flow, 1500)
+        assert 1 in agent._best.values() or 0 in agent._best.values()
+
+    def test_blind_to_downstream_congestion(self, fabric):
+        """DRILL's documented weakness: spine->leaf queues are invisible."""
+        install_lb(fabric, "drill")
+        agent = fabric.hosts[0].lb
+        down = fabric.topology.spine_down[0][1]
+        for i in range(200):
+            down.enqueue(Packet(9, 0, 2, i, 1500, PacketKind.DATA, path_id=0))
+        flow = TcpFlow(fabric, 0, 2, 10 * MSS)
+        picks = {agent.select_path(flow, 1500) for _ in range(30)}
+        assert 0 in picks  # still willing to use the congested spine
+
+
+class TestFlowBender:
+    def test_threshold_validated(self, fabric):
+        with pytest.raises(ValueError):
+            FlowBenderLB(fabric.hosts[0], fabric, fabric.rng.get("t"),
+                         ecn_threshold=0.0)
+
+    def test_stable_path_without_marks(self, fabric):
+        install_lb(fabric, "flowbender")
+        agent = fabric.hosts[0].lb
+        flow = TcpFlow(fabric, 0, 2, 10 * MSS)
+        first = agent.select_path(flow, 1500)
+        for _ in range(20):
+            agent.on_ack(flow, first, ece=False, rtt_ns=50_000, is_retx=False)
+            fabric.sim.run(until=fabric.sim.now + 20_000)
+        assert agent.select_path(flow, 1500) == first
+
+    def test_bounces_on_sustained_marks(self, fabric):
+        install_lb(fabric, "flowbender", epoch_ns=50_000)
+        agent = fabric.hosts[0].lb
+        flow = TcpFlow(fabric, 0, 2, 10 * MSS)
+        first = agent.select_path(flow, 1500)
+        for _ in range(20):
+            agent.on_ack(flow, first, ece=True, rtt_ns=50_000, is_retx=False)
+            fabric.sim.run(until=fabric.sim.now + 10_000)
+        assert agent.select_path(flow, 1500) != first
+        assert agent.reroutes >= 1
+
+    def test_bounces_on_timeout(self, fabric):
+        install_lb(fabric, "flowbender")
+        agent = fabric.hosts[0].lb
+        flow = TcpFlow(fabric, 0, 2, 10 * MSS)
+        first = agent.select_path(flow, 1500)
+        agent.on_timeout(flow, first)
+        assert agent.select_path(flow, 1500) != first
+
+    def test_flow_cleanup(self, fabric):
+        install_lb(fabric, "flowbender")
+        agent = fabric.hosts[0].lb
+        flow = TcpFlow(fabric, 0, 2, 10 * MSS)
+        agent.select_path(flow, 1500)
+        agent.on_flow_done(flow)
+        assert flow.flow_id not in agent._state

@@ -1,0 +1,77 @@
+"""Tests for the CSV/JSON exporters."""
+
+import csv
+import io
+import json
+
+from repro.experiments.config import ExperimentConfig, FailureSpec
+from repro.experiments.export import (
+    FLOW_FIELDS,
+    summary_dict,
+    write_flow_csv,
+    write_summary_json,
+)
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import bench_topology
+
+
+def small_result(**overrides):
+    defaults = dict(
+        topology=bench_topology(n_leaves=2, n_spines=2, hosts_per_leaf=2),
+        lb="ecmp",
+        workload="web-search",
+        load=0.4,
+        n_flows=12,
+        seed=1,
+        size_scale=0.05,
+    )
+    defaults.update(overrides)
+    return run_experiment(ExperimentConfig(**defaults))
+
+
+class TestFlowCsv:
+    def test_row_per_flow(self):
+        result = small_result()
+        buffer = io.StringIO()
+        rows = write_flow_csv(result, buffer)
+        assert rows == 12
+        parsed = list(csv.reader(io.StringIO(buffer.getvalue())))
+        assert parsed[0] == FLOW_FIELDS
+        assert len(parsed) == 13
+
+    def test_fct_parseable(self):
+        result = small_result()
+        buffer = io.StringIO()
+        write_flow_csv(result, buffer)
+        reader = csv.DictReader(io.StringIO(buffer.getvalue()))
+        for row in reader:
+            assert int(row["fct_ns"]) > 0
+            assert row["finished"] == "1"
+
+
+class TestSummary:
+    def test_summary_roundtrips_as_json(self):
+        result = small_result()
+        buffer = io.StringIO()
+        write_summary_json(result, buffer)
+        data = json.loads(buffer.getvalue())
+        assert data["config"]["lb"] == "ecmp"
+        assert data["flows"]["total"] == 12
+        assert data["fct_ms"]["mean"] > 0
+
+    def test_nan_becomes_null(self):
+        result = small_result(size_scale=0.01)  # likely no "large" flows
+        data = summary_dict(result)
+        large = data["fct_ms"]["large_mean"]
+        assert large is None or large > 0
+
+    def test_failure_recorded(self):
+        result = small_result(
+            failure=FailureSpec(kind="random_drop", spine=0, drop_rate=0.01)
+        )
+        data = summary_dict(result)
+        assert data["config"]["failure"]["kind"] == "random_drop"
+
+    def test_no_failure_is_null(self):
+        data = summary_dict(small_result())
+        assert data["config"]["failure"] is None

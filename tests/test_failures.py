@@ -1,0 +1,94 @@
+"""Unit tests for failure injection."""
+
+import random
+
+import pytest
+
+from repro.net.failures import (
+    BlackholeFailure,
+    RandomDropFailure,
+    blackhole_pairs_between_racks,
+)
+from repro.net.packet import Packet, PacketKind
+from tests.conftest import make_fabric
+
+
+def packet(src=0, dst=2):
+    return Packet(0, src, dst, 0, 1500, PacketKind.DATA, path_id=0)
+
+
+class TestRandomDrop:
+    def test_rate_validated(self):
+        with pytest.raises(ValueError):
+            RandomDropFailure(1.5, random.Random(0))
+
+    def test_zero_rate_never_drops(self):
+        failure = RandomDropFailure(0.0, random.Random(0))
+        assert not any(failure(packet(), 0) for _ in range(1000))
+
+    def test_one_rate_always_drops(self):
+        failure = RandomDropFailure(1.0, random.Random(0))
+        assert all(failure(packet(), 0) for _ in range(100))
+
+    def test_empirical_rate(self):
+        failure = RandomDropFailure(0.02, random.Random(1))
+        drops = sum(failure(packet(), 0) for _ in range(20_000))
+        assert 300 < drops < 500  # 2% of 20k = 400
+
+    def test_drop_counter(self):
+        failure = RandomDropFailure(1.0, random.Random(0))
+        failure(packet(), 0)
+        failure(packet(), 0)
+        assert failure.dropped == 2
+
+    def test_install_attaches_to_all_spine_downlinks(self):
+        fabric = make_fabric()
+        failure = RandomDropFailure(1.0, random.Random(0))
+        failure.install(fabric.topology, 0)
+        for port in fabric.topology.spine_ports(0):
+            assert failure in port.drop_predicates
+        for port in fabric.topology.spine_ports(1):
+            assert failure not in port.drop_predicates
+
+    def test_installed_failure_drops_traffic_through_spine(self):
+        fabric = make_fabric()
+        failure = RandomDropFailure(1.0, random.Random(0))
+        failure.install(fabric.topology, 0)
+        fabric.send(packet())  # path 0 goes through spine 0
+        fabric.sim.run()
+        assert failure.dropped == 1
+
+
+class TestBlackhole:
+    def test_matching_pair_dropped_deterministically(self):
+        failure = BlackholeFailure([(0, 2)])
+        assert all(failure(packet(0, 2), 0) for _ in range(10))
+
+    def test_non_matching_pair_passes(self):
+        failure = BlackholeFailure([(0, 2)])
+        assert not failure(packet(1, 2), 0)
+        assert not failure(packet(2, 0), 0)  # direction matters
+
+    def test_pairs_between_racks_fraction(self):
+        fabric = make_fabric()
+        pairs = blackhole_pairs_between_racks(
+            fabric.topology, 0, 1, 0.5, random.Random(0)
+        )
+        assert len(pairs) == 2  # 2x2 host pairs, half
+        for src, dst in pairs:
+            assert fabric.topology.leaf_of(src) == 0
+            assert fabric.topology.leaf_of(dst) == 1
+
+    def test_pairs_fraction_validated(self):
+        fabric = make_fabric()
+        with pytest.raises(ValueError):
+            blackhole_pairs_between_racks(
+                fabric.topology, 0, 1, 1.5, random.Random(0)
+            )
+
+    def test_full_fraction_covers_all_pairs(self):
+        fabric = make_fabric()
+        pairs = blackhole_pairs_between_racks(
+            fabric.topology, 0, 1, 1.0, random.Random(0)
+        )
+        assert len(pairs) == 4

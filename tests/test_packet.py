@@ -1,0 +1,100 @@
+"""Unit tests for packet construction and control-packet helpers."""
+
+from repro.net.packet import (
+    ACK_BYTES,
+    PROBE_BYTES,
+    PRIO_HIGH,
+    PRIO_LOW,
+    Packet,
+    PacketKind,
+    make_ack,
+    make_probe,
+    make_probe_reply,
+)
+
+
+def data_packet(**overrides) -> Packet:
+    kwargs = dict(
+        flow_id=7, src=1, dst=5, seq=3, size=1500, kind=PacketKind.DATA, path_id=2
+    )
+    kwargs.update(overrides)
+    return Packet(**kwargs)
+
+
+class TestPacket:
+    def test_defaults(self):
+        packet = data_packet()
+        assert packet.ce is False
+        assert packet.ece is False
+        assert packet.is_retx is False
+        assert packet.hop == 0
+        assert packet.conga_metric == 0
+
+    def test_priority_default_low(self):
+        assert data_packet().priority == PRIO_LOW
+
+
+class TestMakeAck:
+    def test_ack_reverses_endpoints(self):
+        data = data_packet()
+        ack = make_ack(data, ack_seq=4, now=100)
+        assert ack.src == data.dst
+        assert ack.dst == data.src
+        assert ack.flow_id == data.flow_id
+
+    def test_ack_echoes_ce_as_ece(self):
+        data = data_packet()
+        data.ce = True
+        ack = make_ack(data, 4, 100)
+        assert ack.ece is True
+
+    def test_ack_keeps_path_and_timestamp(self):
+        data = data_packet()
+        data.ts_echo = 1234
+        ack = make_ack(data, 4, 100)
+        assert ack.path_id == data.path_id
+        assert ack.ts_echo == 1234
+
+    def test_ack_is_high_priority_and_small(self):
+        ack = make_ack(data_packet(), 4, 0)
+        assert ack.priority == PRIO_HIGH
+        assert ack.size == ACK_BYTES
+
+    def test_ack_not_ecn_capable(self):
+        assert make_ack(data_packet(), 4, 0).ecn_capable is False
+
+    def test_ack_carries_retx_flag(self):
+        data = data_packet()
+        data.is_retx = True
+        assert make_ack(data, 4, 0).is_retx is True
+
+    def test_ack_carries_conga_metric(self):
+        data = data_packet()
+        data.conga_metric = 5
+        assert make_ack(data, 4, 0).conga_metric == 5
+
+    def test_cumulative_ack_seq(self):
+        assert make_ack(data_packet(), 9, 0).ack_seq == 9
+
+
+class TestProbes:
+    def test_probe_is_small_and_normal_priority(self):
+        probe = make_probe(1, 0, 3, 2, now=50)
+        assert probe.size == PROBE_BYTES
+        assert probe.priority == PRIO_LOW  # must experience real queueing
+        assert probe.ecn_capable is True
+        assert probe.ts_echo == 50
+
+    def test_reply_reverses_and_echoes(self):
+        probe = make_probe(1, 0, 3, 2, now=50)
+        probe.ce = True
+        reply = make_probe_reply(probe)
+        assert (reply.src, reply.dst) == (3, 0)
+        assert reply.path_id == 2
+        assert reply.ece is True
+        assert reply.ts_echo == 50
+
+    def test_reply_high_priority(self):
+        reply = make_probe_reply(make_probe(1, 0, 3, 2, 0))
+        assert reply.priority == PRIO_HIGH
+        assert reply.ecn_capable is False

@@ -1,0 +1,74 @@
+"""Unit tests for the synthetic traffic patterns."""
+
+import random
+
+import pytest
+
+from repro.workload.patterns import incast, permutation, staggered_elephants
+from tests.conftest import small_config
+
+
+class TestIncast:
+    def test_right_number_of_senders(self):
+        arrivals = incast(small_config(), 0, 2, 10_000, random.Random(0))
+        assert len(arrivals) == 2
+        assert all(a.dst == 0 for a in arrivals)
+
+    def test_senders_unique(self):
+        cfg = small_config(hosts_per_leaf=8)
+        arrivals = incast(cfg, 0, 8, 10_000, random.Random(0))
+        assert len({a.src for a in arrivals}) == 8
+
+    def test_inter_rack_only(self):
+        cfg = small_config()
+        arrivals = incast(cfg, 0, 2, 10_000, random.Random(0))
+        assert all(a.src // 2 != 0 for a in arrivals)
+
+    def test_jitter_bounds(self):
+        arrivals = incast(
+            small_config(), 0, 2, 10_000, random.Random(0),
+            start_ns=100, jitter_ns=50,
+        )
+        assert all(100 <= a.time_ns < 150 for a in arrivals)
+
+    def test_too_many_senders_rejected(self):
+        with pytest.raises(ValueError):
+            incast(small_config(), 0, 100, 10_000, random.Random(0))
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ValueError):
+            incast(small_config(), 99, 1, 10_000, random.Random(0))
+
+
+class TestPermutation:
+    def test_every_host_sends_once(self):
+        cfg = small_config(hosts_per_leaf=4)
+        arrivals = permutation(cfg, 10_000, random.Random(1))
+        assert sorted(a.src for a in arrivals) == list(range(cfg.n_hosts))
+
+    def test_every_host_receives_once(self):
+        cfg = small_config(hosts_per_leaf=4)
+        arrivals = permutation(cfg, 10_000, random.Random(1))
+        assert sorted(a.dst for a in arrivals) == list(range(cfg.n_hosts))
+
+    def test_no_self_and_inter_rack(self):
+        cfg = small_config(hosts_per_leaf=4)
+        arrivals = permutation(cfg, 10_000, random.Random(1))
+        for a in arrivals:
+            assert a.src != a.dst
+            assert a.src // 4 != a.dst // 4
+
+
+class TestStaggeredElephants:
+    def test_gap_spacing(self):
+        arrivals = staggered_elephants(
+            small_config(), 5, 10**6, 1_000, random.Random(2)
+        )
+        assert [a.time_ns for a in arrivals] == [0, 1000, 2000, 3000, 4000]
+
+    def test_pairs_valid(self):
+        cfg = small_config()
+        arrivals = staggered_elephants(cfg, 20, 10**6, 100, random.Random(2))
+        for a in arrivals:
+            assert a.src != a.dst
+            assert a.src // 2 != a.dst // 2

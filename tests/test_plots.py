@@ -1,0 +1,62 @@
+"""Tests for the terminal plotting helpers."""
+
+import pytest
+
+from repro.metrics.plots import cdf_table, series_block, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_flat(self):
+        line = sparkline([5, 5, 5])
+        assert len(set(line)) == 1
+
+    def test_monotone_series_monotone_glyphs(self):
+        line = sparkline(list(range(9)), width=9)
+        assert list(line) == sorted(line)
+
+    def test_resampled_to_width(self):
+        assert len(sparkline(list(range(1000)), width=40)) == 40
+
+    def test_short_series_not_padded(self):
+        assert len(sparkline([1, 2, 3], width=60)) == 3
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            sparkline([1.0], width=0)
+
+    def test_extremes_use_extreme_glyphs(self):
+        line = sparkline([0, 100], width=2)
+        assert line[0] != line[1]
+
+
+class TestCdfTable:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cdf_table([])
+
+    def test_quantiles_monotone(self):
+        table = cdf_table(list(range(100)))
+        values = [v for _, v in table]
+        assert values == sorted(values)
+
+    def test_median_of_uniform(self):
+        table = cdf_table(list(range(101)), quantiles=(0.5,))
+        assert table[0][1] == pytest.approx(50, abs=2)
+
+    def test_bad_quantile(self):
+        with pytest.raises(ValueError):
+            cdf_table([1.0], quantiles=(1.5,))
+
+
+class TestSeriesBlock:
+    def test_contains_stats(self):
+        text = series_block("queue", [(0, 1.0), (1, 3.0)], unit="KB")
+        assert "queue:" in text
+        assert "min=1" in text
+        assert "max=3" in text
+
+    def test_empty_series(self):
+        assert "(no samples)" in series_block("x", [])

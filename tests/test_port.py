@@ -1,0 +1,216 @@
+"""Unit tests for the output port (queue + link)."""
+
+import pytest
+
+from repro.net.packet import PRIO_HIGH, Packet, PacketKind
+from repro.net.port import OutputPort
+from repro.sim.engine import Simulator
+
+
+def make_port(sim, rate_gbps=10.0, ecn_k=97_500, buffer_bytes=750_000, sink=None):
+    arrived = [] if sink is None else sink
+    port = OutputPort(
+        sim,
+        "test",
+        rate_gbps * 1e9,
+        prop_delay_ns=1_000,
+        buffer_bytes=buffer_bytes,
+        ecn_threshold_bytes=ecn_k,
+        forward=arrived.append,
+    )
+    return port, arrived
+
+
+def data(seq=0, size=1500, prio=None, ecn=True):
+    packet = Packet(0, 0, 1, seq, size, PacketKind.DATA, ecn_capable=ecn)
+    if prio is not None:
+        packet.priority = prio
+    return packet
+
+
+class TestSerialization:
+    def test_tx_time(self):
+        sim = Simulator()
+        port, _ = make_port(sim, rate_gbps=10.0)
+        assert port.tx_time_ns(1500) == 1200  # 1500B * 8 / 10Gbps
+
+    def test_delivery_after_tx_plus_prop(self):
+        sim = Simulator()
+        port, arrived = make_port(sim)
+        port.enqueue(data())
+        sim.run()
+        # 1200ns serialization + 1000ns propagation
+        assert sim.now == 2200
+        assert len(arrived) == 1
+
+    def test_back_to_back_serialize_sequentially(self):
+        sim = Simulator()
+        port, arrived = make_port(sim)
+        port.enqueue(data(0))
+        port.enqueue(data(1))
+        sim.run()
+        assert sim.now == 2 * 1200 + 1000
+        assert [p.seq for p in arrived] == [0, 1]
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            OutputPort(Simulator(), "bad", 0, 0, 1000, 100)
+
+
+class TestPriority:
+    def test_high_priority_jumps_queue(self):
+        sim = Simulator()
+        port, arrived = make_port(sim)
+        port.enqueue(data(0))        # starts transmitting immediately
+        port.enqueue(data(1))        # queued low
+        port.enqueue(data(2, size=64, prio=PRIO_HIGH))  # queued high
+        sim.run()
+        assert [p.seq for p in arrived] == [0, 2, 1]
+
+    def test_no_preemption_of_inflight_packet(self):
+        sim = Simulator()
+        port, arrived = make_port(sim)
+        port.enqueue(data(0))
+        port.enqueue(data(1, size=64, prio=PRIO_HIGH))
+        sim.run()
+        assert arrived[0].seq == 0  # the in-flight packet finishes first
+
+
+class TestEcnMarking:
+    def test_no_mark_below_threshold(self):
+        sim = Simulator()
+        port, _ = make_port(sim, ecn_k=10_000)
+        packet = data()
+        port.enqueue(packet)
+        assert packet.ce is False
+
+    def test_mark_above_threshold(self):
+        sim = Simulator()
+        port, _ = make_port(sim, ecn_k=3_000)
+        first, second, third = data(0), data(1), data(2)
+        port.enqueue(first)   # backlog 1500
+        port.enqueue(second)  # backlog 3000 -> at threshold
+        port.enqueue(third)   # backlog >= threshold -> marked
+        assert first.ce is False
+        assert third.ce is True
+
+    def test_non_ecn_capable_never_marked(self):
+        sim = Simulator()
+        port, _ = make_port(sim, ecn_k=1)
+        packet = data(ecn=False)
+        port.enqueue(data(0))
+        port.enqueue(packet)
+        assert packet.ce is False
+
+    def test_zero_threshold_disables_marking(self):
+        sim = Simulator()
+        port, _ = make_port(sim, ecn_k=0)
+        port.enqueue(data(0))
+        packet = data(1)
+        port.enqueue(packet)
+        assert packet.ce is False
+
+
+class TestDrops:
+    def test_buffer_overflow_drops(self):
+        sim = Simulator()
+        port, arrived = make_port(sim, buffer_bytes=2_000)
+        assert port.enqueue(data(0)) is True
+        assert port.enqueue(data(1)) is False  # 3000 > 2000
+        assert port.drops_overflow == 1
+        sim.run()
+        assert len(arrived) == 1
+
+    def test_drop_predicate(self):
+        sim = Simulator()
+        port, arrived = make_port(sim)
+        port.drop_predicates.append(lambda p, now: p.seq == 1)
+        assert port.enqueue(data(0)) is True
+        assert port.enqueue(data(1)) is False
+        assert port.drops_injected == 1
+        assert port.total_drops == 1
+
+    def test_dropped_packet_frees_no_backlog(self):
+        sim = Simulator()
+        port, _ = make_port(sim, buffer_bytes=2_000)
+        port.enqueue(data(0))
+        backlog = port.backlog_bytes
+        port.enqueue(data(1))
+        assert port.backlog_bytes == backlog
+
+
+class TestAccounting:
+    def test_bytes_and_packets_counted(self):
+        sim = Simulator()
+        port, _ = make_port(sim)
+        port.enqueue(data(0))
+        port.enqueue(data(1, size=500))
+        sim.run()
+        assert port.pkts_sent == 2
+        assert port.bytes_sent == 2_000
+
+    def test_backlog_drains_to_zero(self):
+        sim = Simulator()
+        port, _ = make_port(sim)
+        for i in range(5):
+            port.enqueue(data(i))
+        assert port.backlog_bytes == 7_500
+        sim.run()
+        assert port.backlog_bytes == 0
+
+    def test_max_backlog_tracked(self):
+        sim = Simulator()
+        port, _ = make_port(sim)
+        for i in range(4):
+            port.enqueue(data(i))
+        sim.run()
+        assert port.max_backlog == 6_000
+
+    def test_utilization_since(self):
+        sim = Simulator()
+        port, _ = make_port(sim, rate_gbps=10.0)
+        start, bytes0 = sim.now, port.bytes_sent
+        port.enqueue(data(0))
+        sim.run(until=1_200)  # exactly the serialization time
+        assert port.utilization_since(start, bytes0) == pytest.approx(1.0)
+
+
+class TestDre:
+    def test_dre_rises_with_traffic(self):
+        sim = Simulator()
+        port, _ = make_port(sim)
+        assert port.dre_utilization() == 0.0
+        # Sustain line rate for ~2 tau so the estimator converges.
+        for i in range(200):
+            port.enqueue(data(i))
+        sim.run()
+        assert port.dre_utilization() > 0.5
+
+    def test_dre_decays_when_idle(self):
+        sim = Simulator()
+        port, _ = make_port(sim)
+        for i in range(200):
+            port.enqueue(data(i))
+        sim.run()
+        busy = port.dre_utilization()
+        sim.run(until=sim.now + 1_000_000)  # 10 tau of idle decay
+        assert port.dre_utilization() < busy / 100
+
+    def test_dre_quantized_range(self):
+        sim = Simulator()
+        port, _ = make_port(sim)
+        assert port.dre_quantized() == 0
+        for i in range(100):
+            port.enqueue(data(i))
+        sim.run(until=port.tx_time_ns(1500) * 50)
+        assert 0 <= port.dre_quantized() <= 7
+
+    def test_data_packet_stamped_with_max_dre(self):
+        sim = Simulator()
+        port, arrived = make_port(sim)
+        for i in range(50):
+            port.enqueue(data(i))
+        sim.run()
+        # Later packets saw a busier link and carry a larger stamp.
+        assert arrived[-1].conga_metric >= arrived[0].conga_metric
+        assert arrived[-1].conga_metric > 0

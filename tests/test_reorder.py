@@ -1,0 +1,114 @@
+"""Unit tests for the receiver / reorder-masking policies."""
+
+from repro.net.packet import Packet, PacketKind
+from repro.sim.engine import Simulator
+from repro.transport.reorder import Receiver
+
+
+def data(seq):
+    return Packet(0, 0, 1, seq, 1500, PacketKind.DATA)
+
+
+class Collector:
+    def __init__(self):
+        self.acks = []  # (seq_of_template, copies, rcv_next_at_send)
+
+    def bind(self, receiver):
+        self.receiver = receiver
+
+    def __call__(self, template, copies):
+        self.acks.append((template.seq, copies, self.receiver.rcv_next))
+
+
+def make(mask=None):
+    sim = Simulator()
+    collector = Collector()
+    receiver = Receiver(sim, collector, mask_timeout_ns=mask)
+    collector.bind(receiver)
+    return sim, receiver, collector
+
+
+class TestInOrder:
+    def test_advances_and_acks_each_packet(self):
+        _, receiver, collector = make()
+        for seq in range(3):
+            receiver.on_data(data(seq))
+        assert receiver.rcv_next == 3
+        assert [c for _, c, _ in collector.acks] == [1, 1, 1]
+
+    def test_duplicate_still_acked(self):
+        _, receiver, collector = make()
+        receiver.on_data(data(0))
+        receiver.on_data(data(0))
+        assert receiver.rcv_next == 1
+        assert len(collector.acks) == 2
+
+
+class TestOutOfOrderUnmasked:
+    def test_gap_generates_immediate_dup_acks(self):
+        _, receiver, collector = make()
+        receiver.on_data(data(0))
+        receiver.on_data(data(2))
+        receiver.on_data(data(3))
+        assert receiver.rcv_next == 1
+        # Two duplicate ACKs at rcv_next == 1.
+        assert [r for _, _, r in collector.acks] == [1, 1, 1]
+
+    def test_gap_fill_jumps_cumulative(self):
+        _, receiver, collector = make()
+        receiver.on_data(data(1))
+        receiver.on_data(data(2))
+        receiver.on_data(data(0))
+        assert receiver.rcv_next == 3
+        assert collector.acks[-1][2] == 3
+
+    def test_has_gap(self):
+        _, receiver, _ = make()
+        receiver.on_data(data(1))
+        assert receiver.has_gap
+        receiver.on_data(data(0))
+        assert not receiver.has_gap
+
+
+class TestMasking:
+    def test_ooo_arrival_suppressed(self):
+        _, receiver, collector = make(mask=100_000)
+        receiver.on_data(data(0))
+        receiver.on_data(data(2))
+        assert len(collector.acks) == 1  # only the in-order packet acked
+
+    def test_gap_filled_in_time_no_dups(self):
+        sim, receiver, collector = make(mask=100_000)
+        receiver.on_data(data(0))
+        receiver.on_data(data(2))
+        sim.run(until=50_000)
+        receiver.on_data(data(1))
+        sim.run()
+        copies = [c for _, c, _ in collector.acks]
+        assert copies == [1, 1]  # no duplicate-ACK burst ever sent
+
+    def test_persistent_gap_flushes_dup_burst(self):
+        sim, receiver, collector = make(mask=100_000)
+        receiver.on_data(data(0))
+        receiver.on_data(data(2))
+        sim.run(until=150_000)
+        bursts = [c for _, c, _ in collector.acks if c > 1]
+        assert bursts == [3]  # dupthresh copies to trigger fast retransmit
+
+    def test_flush_rearms_until_gap_filled(self):
+        sim, receiver, collector = make(mask=100_000)
+        receiver.on_data(data(0))
+        receiver.on_data(data(2))
+        sim.run(until=350_000)
+        bursts = [c for _, c, _ in collector.acks if c > 1]
+        assert len(bursts) >= 2  # re-armed while the gap persists
+
+    def test_fill_after_flush_stops_bursts(self):
+        sim, receiver, collector = make(mask=100_000)
+        receiver.on_data(data(0))
+        receiver.on_data(data(2))
+        sim.run(until=150_000)
+        receiver.on_data(data(1))
+        n_bursts = len([c for _, c, _ in collector.acks if c > 1])
+        sim.run(until=1_000_000)
+        assert len([c for _, c, _ in collector.acks if c > 1]) == n_bursts

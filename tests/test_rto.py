@@ -1,0 +1,64 @@
+"""Unit tests for the RTO estimator."""
+
+from repro.sim.engine import NS_PER_MS
+from repro.transport.rto import RtoEstimator
+
+
+class TestRtoEstimator:
+    def test_initial_rto(self):
+        assert RtoEstimator().rto_ns == 10 * NS_PER_MS
+
+    def test_first_sample_initializes_srtt(self):
+        rto = RtoEstimator()
+        rto.update(100_000)
+        assert rto.srtt == 100_000
+        assert rto.rttvar == 50_000
+
+    def test_min_rto_floor(self):
+        rto = RtoEstimator()
+        rto.update(50_000)  # 50us RTT -> raw RTO far below the 10ms floor
+        assert rto.rto_ns == 10 * NS_PER_MS
+
+    def test_custom_floor(self):
+        rto = RtoEstimator(init_rto_ns=1_000_000, min_rto_ns=1_000_000)
+        assert rto.rto_ns == 1_000_000
+
+    def test_smoothing_converges(self):
+        rto = RtoEstimator()
+        for _ in range(100):
+            rto.update(200_000)
+        assert abs(rto.srtt - 200_000) < 1_000
+
+    def test_variance_widens_rto(self):
+        stable = RtoEstimator(min_rto_ns=1)
+        jittery = RtoEstimator(min_rto_ns=1)
+        for i in range(50):
+            stable.update(100_000)
+            jittery.update(100_000 if i % 2 else 500_000)
+        assert jittery.rto_ns > stable.rto_ns
+
+    def test_backoff_doubles(self):
+        rto = RtoEstimator()
+        base = rto.rto_ns
+        rto.backoff()
+        assert rto.rto_ns == 2 * base
+        rto.backoff()
+        assert rto.rto_ns == 4 * base
+
+    def test_backoff_capped_at_max(self):
+        rto = RtoEstimator(max_rto_ns=100 * NS_PER_MS)
+        for _ in range(20):
+            rto.backoff()
+        assert rto.rto_ns == 100 * NS_PER_MS
+
+    def test_sample_resets_backoff(self):
+        rto = RtoEstimator()
+        rto.backoff()
+        rto.update(100_000)
+        assert rto.rto_ns == 10 * NS_PER_MS
+
+    def test_non_positive_sample_ignored(self):
+        rto = RtoEstimator()
+        rto.update(0)
+        rto.update(-5)
+        assert rto.srtt == 0.0

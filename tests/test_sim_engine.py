@@ -1,0 +1,165 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import (
+    NS_PER_MS,
+    NS_PER_SEC,
+    NS_PER_US,
+    Simulator,
+    microseconds,
+    milliseconds,
+    seconds,
+)
+
+
+class TestTimeConversions:
+    def test_seconds(self):
+        assert seconds(1) == NS_PER_SEC
+        assert seconds(0.5) == NS_PER_SEC // 2
+
+    def test_milliseconds(self):
+        assert milliseconds(10) == 10 * NS_PER_MS
+
+    def test_microseconds(self):
+        assert microseconds(500) == 500 * NS_PER_US
+
+    def test_fractional_rounds(self):
+        assert microseconds(0.5) == 500
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, sim):
+        order = []
+        sim.schedule(300, order.append, "c")
+        sim.schedule(100, order.append, "a")
+        sim.schedule(200, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo(self, sim):
+        order = []
+        for tag in "abcde":
+            sim.schedule(50, order.append, tag)
+        sim.run()
+        assert order == list("abcde")
+
+    def test_clock_advances_to_event_time(self, sim):
+        seen = []
+        sim.schedule(123, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [123]
+        assert sim.now == 123
+
+    def test_schedule_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self, sim):
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_nested_scheduling(self, sim):
+        order = []
+
+        def outer():
+            order.append("outer")
+            sim.schedule(10, lambda: order.append("inner"))
+
+        sim.schedule(5, outer)
+        sim.run()
+        assert order == ["outer", "inner"]
+        assert sim.now == 15
+
+    def test_args_passed_through(self, sim):
+        got = []
+        sim.schedule(1, lambda a, b: got.append((a, b)), 1, "x")
+        sim.run()
+        assert got == [(1, "x")]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        event = sim.schedule(10, fired.append, 1)
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+
+    def test_cancel_none_is_noop(self, sim):
+        sim.cancel(None)  # must not raise
+
+    def test_double_cancel_is_safe(self, sim):
+        event = sim.schedule(10, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+
+    def test_cancel_inside_callback(self, sim):
+        fired = []
+        later = sim.schedule(20, fired.append, "later")
+        sim.schedule(10, later.cancel)
+        sim.run()
+        assert fired == []
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self, sim):
+        fired = []
+        sim.schedule(10, fired.append, "early")
+        sim.schedule(100, fired.append, "late")
+        sim.run(until=50)
+        assert fired == ["early"]
+        assert sim.now == 50
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_run_until_advances_clock_without_events(self, sim):
+        sim.run(until=1_000)
+        assert sim.now == 1_000
+
+    def test_max_events(self, sim):
+        fired = []
+        for i in range(10):
+            sim.schedule(i + 1, fired.append, i)
+        count = sim.run(max_events=3)
+        assert count == 3
+        assert fired == [0, 1, 2]
+
+    def test_run_returns_events_fired(self, sim):
+        for i in range(5):
+            sim.schedule(i, lambda: None)
+        assert sim.run() == 5
+        assert sim.events_fired == 5
+
+    def test_peek_time_skips_cancelled(self, sim):
+        first = sim.schedule(10, lambda: None)
+        sim.schedule(20, lambda: None)
+        first.cancel()
+        assert sim.peek_time() == 20
+
+    def test_peek_time_empty(self, sim):
+        assert sim.peek_time() is None
+
+    def test_reset(self, sim):
+        sim.schedule(10, lambda: None)
+        sim.run()
+        sim.reset()
+        assert sim.now == 0
+        assert sim.pending == 0
+        assert sim.events_fired == 0
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_traces(self):
+        def trace():
+            local = Simulator()
+            order = []
+            for i in range(50):
+                local.schedule((i * 37) % 17 + 1, order.append, i)
+            local.run()
+            return order
+
+        assert trace() == trace()

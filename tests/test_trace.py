@@ -1,0 +1,75 @@
+"""Tests for the packet tracer."""
+
+from repro.lb.factory import install_lb
+from repro.net.packet import PacketKind
+from repro.net.trace import PacketTracer
+from repro.transport.dctcp import DctcpFlow
+from repro.transport.tcp import MSS
+from tests.conftest import make_fabric
+
+
+class TestTracer:
+    def test_records_send_hops_and_delivery(self, fabric):
+        install_lb(fabric, "ecmp")
+        flow = DctcpFlow(fabric, 0, 2, MSS)
+        fabric.register_flow(flow)
+        with PacketTracer(fabric) as tracer:
+            flow.start()
+            fabric.sim.run(until=10_000_000)
+        kinds = {e.kind for e in tracer.events}
+        assert kinds == {"send", "hop", "deliver"}
+        # 1 data + 1 ack delivered.
+        assert tracer.deliveries() == 2
+
+    def test_filter_by_flow(self, fabric):
+        install_lb(fabric, "ecmp")
+        a = DctcpFlow(fabric, 0, 2, MSS)
+        b = DctcpFlow(fabric, 1, 3, MSS)
+        for flow in (a, b):
+            fabric.register_flow(flow)
+        with PacketTracer(
+            fabric, predicate=lambda p: p.flow_id == a.flow_id
+        ) as tracer:
+            a.start()
+            b.start()
+            fabric.sim.run(until=10_000_000)
+        assert all(e.flow_id == a.flow_id for e in tracer.events)
+
+    def test_paths_used_tracks_spraying(self, fabric):
+        install_lb(fabric, "drb")
+        flow = DctcpFlow(fabric, 0, 2, 20 * MSS)
+        fabric.register_flow(flow)
+        with PacketTracer(fabric) as tracer:
+            flow.start()
+            fabric.sim.run(until=10_000_000)
+        assert sorted(tracer.paths_used(flow.flow_id)) == [0, 1]
+
+    def test_detach_restores_fabric(self, fabric):
+        original_send = fabric.send
+        tracer = PacketTracer(fabric).attach()
+        assert fabric.send != original_send
+        tracer.detach()
+        assert fabric.send == original_send
+
+    def test_truncation(self, fabric):
+        install_lb(fabric, "ecmp")
+        flow = DctcpFlow(fabric, 0, 2, 50 * MSS)
+        fabric.register_flow(flow)
+        with PacketTracer(fabric, max_events=5) as tracer:
+            flow.start()
+            fabric.sim.run(until=10_000_000)
+        assert len(tracer.events) == 5
+        assert tracer.truncated
+
+    def test_event_metadata(self, fabric):
+        install_lb(fabric, "ecmp")
+        flow = DctcpFlow(fabric, 0, 2, MSS)
+        fabric.register_flow(flow)
+        with PacketTracer(fabric) as tracer:
+            flow.start()
+            fabric.sim.run(until=10_000_000)
+        send = next(e for e in tracer.events if e.kind == "send")
+        assert send.port == "host0->leaf0"
+        assert send.packet_kind_name == "DATA"
+        delivery = next(e for e in tracer.events if e.kind == "deliver")
+        assert delivery.port is None

@@ -1,0 +1,88 @@
+"""Tests for the Hermes auto-tuner (grid search)."""
+
+import pytest
+
+from repro.core.tuning import TuningOutcome, mean_fct_score, tune_hermes
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.scenarios import bench_topology
+
+
+def tiny_hermes_config(**overrides):
+    defaults = dict(
+        topology=bench_topology(n_leaves=2, n_spines=2, hosts_per_leaf=2),
+        lb="hermes",
+        workload="web-search",
+        load=0.4,
+        n_flows=15,
+        seed=1,
+        size_scale=0.05,
+        time_scale=0.1,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+class TestTuneHermes:
+    def test_requires_hermes(self):
+        with pytest.raises(ValueError):
+            tune_hermes(tiny_hermes_config(lb="ecmp"), {"t_ecn": [0.4]})
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            tune_hermes(tiny_hermes_config(), {})
+
+    def test_grid_evaluated_exhaustively(self):
+        outcome = tune_hermes(
+            tiny_hermes_config(),
+            {"t_ecn": [0.3, 0.5], "delta_ecn": [0.05, 0.1]},
+        )
+        assert len(outcome.candidates) == 4
+        seen = {tuple(sorted(c.overrides.items())) for c in outcome.candidates}
+        assert len(seen) == 4
+
+    def test_sorted_best_first(self):
+        outcome = tune_hermes(tiny_hermes_config(), {"t_ecn": [0.3, 0.5]})
+        scores = [c.score for c in outcome.candidates]
+        assert scores == sorted(scores)
+        assert outcome.best.score == scores[0]
+
+    def test_base_overrides_preserved(self):
+        config = tiny_hermes_config(hermes_overrides={"delta_ecn": 0.08})
+        outcome = tune_hermes(config, {"t_ecn": [0.4]})
+        # The evaluated candidate combines base override + grid value;
+        # the reported overrides list only the grid keys.
+        assert outcome.best.overrides == {"t_ecn": 0.4}
+
+    def test_keep_results(self):
+        outcome = tune_hermes(
+            tiny_hermes_config(), {"t_ecn": [0.4]}, keep_results=True
+        )
+        assert outcome.best.results
+        assert outcome.best.results[0].stats.count == 15
+
+    def test_multiple_seeds_averaged(self):
+        outcome = tune_hermes(
+            tiny_hermes_config(), {"t_ecn": [0.4]}, seeds=(1, 2)
+        )
+        assert len(outcome.candidates) == 1
+
+    def test_table_rows(self):
+        outcome = tune_hermes(tiny_hermes_config(), {"t_ecn": [0.3, 0.5]})
+        rows = outcome.table_rows()
+        assert len(rows) == 2
+        assert all("t_ecn=" in row[0] for row in rows)
+
+
+class TestScore:
+    def test_penalizes_unfinished(self):
+        class FakeStats:
+            def mean_ms(self, penalize_unfinished_ns=None):
+                return 5.0 if penalize_unfinished_ns else 1.0
+
+        class FakeResult:
+            sim_time_ns = 10**9
+
+            def mean_fct_ms_with_penalty(self):
+                return 5.0
+
+        assert mean_fct_score([FakeResult()]) == 5.0
