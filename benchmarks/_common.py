@@ -13,8 +13,13 @@ import os
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.experiments.config import ExperimentConfig, FailureSpec
+from repro.experiments.parallel import (
+    ResultSummary,
+    grid_configs,
+    grid_results,
+    run_cells,
+)
 from repro.experiments.report import format_table
-from repro.experiments.runner import ExperimentResult, run_experiment
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -62,47 +67,51 @@ def run_grid(
     hermes_overrides: Optional[Dict] = None,
     extra_drain_ns: int = 2_000_000_000,
     presto_weighted: bool = False,
-) -> Dict[str, Dict[float, List[ExperimentResult]]]:
-    """Run a (scheme x load x seed) grid and return all results."""
-    out: Dict[str, Dict[float, List[ExperimentResult]]] = {}
-    for lb in schemes:
-        out[lb] = {}
-        for load in loads:
-            runs = []
-            for seed in seeds:
-                params = dict((lb_params or {}).get(lb, {}))
-                if lb == "presto":
-                    # Presto* sprays packets, not flowcells (paper §5.1).
-                    params.setdefault("flowcell_bytes", 1500)
-                    if presto_weighted:
-                        params["weight_by_capacity"] = True
-                config = ExperimentConfig(
-                    topology=topology,
-                    lb=lb,
-                    lb_params=params,
-                    workload=workload,
-                    load=load,
-                    n_flows=n_flows,
-                    seed=seed,
-                    size_scale=size_scale,
-                    time_scale=time_scale,
-                    failure=failure,
-                    hermes_overrides=hermes_overrides or {},
-                    extra_drain_ns=extra_drain_ns,
-                    **scheme_kwargs(lb, topology),
-                )
-                runs.append(run_experiment(config))
-            out[lb][load] = runs
-    return out
+    jobs: Optional[int] = None,
+) -> Dict[str, Dict[float, List[ResultSummary]]]:
+    """Run a (scheme x load x seed) grid and return all results.
+
+    Cells fan out over worker processes (``jobs`` arg, else the
+    ``REPRO_JOBS`` env var, else every core) and finished cells are
+    reused from the on-disk result cache — see
+    :mod:`repro.experiments.parallel`.  ``jobs=1`` runs in-process.
+    """
+
+    def make_config(lb: str, load: float, seed: int) -> ExperimentConfig:
+        params = dict((lb_params or {}).get(lb, {}))
+        if lb == "presto":
+            # Presto* sprays packets, not flowcells (paper §5.1).
+            params.setdefault("flowcell_bytes", 1500)
+            if presto_weighted:
+                params["weight_by_capacity"] = True
+        return ExperimentConfig(
+            topology=topology,
+            lb=lb,
+            lb_params=params,
+            workload=workload,
+            load=load,
+            n_flows=n_flows,
+            seed=seed,
+            size_scale=size_scale,
+            time_scale=time_scale,
+            failure=failure,
+            hermes_overrides=hermes_overrides or {},
+            extra_drain_ns=extra_drain_ns,
+            **scheme_kwargs(lb, topology),
+        )
+
+    configs = grid_configs(schemes, loads, seeds, make_config)
+    summaries = run_cells(configs, jobs=jobs)
+    return grid_results(schemes, loads, seeds, summaries)
 
 
-def mean_over_seeds(runs: Iterable[ExperimentResult], metric) -> float:
+def mean_over_seeds(runs: Iterable[ResultSummary], metric) -> float:
     values = [metric(r) for r in runs]
     return sum(values) / len(values)
 
 
 def fct_table(
-    grid: Dict[str, Dict[float, List[ExperimentResult]]],
+    grid: Dict[str, Dict[float, List[ResultSummary]]],
     loads: Sequence[float],
     metric=lambda r: r.mean_fct_ms,
     metric_name: str = "avg FCT (ms)",
@@ -117,7 +126,7 @@ def fct_table(
 
 
 def normalized_table(
-    grid: Dict[str, Dict[float, List[ExperimentResult]]],
+    grid: Dict[str, Dict[float, List[ResultSummary]]],
     loads: Sequence[float],
     baseline: str = "hermes",
     metric=lambda r: r.mean_fct_ms,

@@ -11,8 +11,8 @@ reordering is masked.
 
 from _common import emit, mean_over_seeds
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import run_cells
 from repro.experiments.report import format_table
-from repro.experiments.runner import run_experiment
 from repro.experiments.scenarios import bench_topology
 from repro.sim.engine import microseconds
 
@@ -21,10 +21,11 @@ LOAD = 0.8
 N_FLOWS = 200
 SIZE_SCALE = 0.2
 TIME_SCALE = 0.2
+SEEDS = (1,)
 
 
-def run_timeout(timeout_us: float, seed: int):
-    config = ExperimentConfig(
+def timeout_config(timeout_us: float, seed: int) -> ExperimentConfig:
+    return ExperimentConfig(
         topology=bench_topology(asymmetric=True),
         lb="conga",
         lb_params={"flowlet_timeout_ns": microseconds(timeout_us)},
@@ -36,13 +37,14 @@ def run_timeout(timeout_us: float, seed: int):
         time_scale=TIME_SCALE,
         reorder_mask_us=100.0,  # mask reordering, as the paper does
     )
-    return run_experiment(config)
 
 
 def reproduce():
-    return {
-        us: [run_timeout(us, seed) for seed in (1,)] for us in TIMEOUTS_US
-    }
+    configs = [
+        timeout_config(us, seed) for us in TIMEOUTS_US for seed in SEEDS
+    ]
+    runs = iter(run_cells(configs))
+    return {us: [next(runs) for _ in SEEDS] for us in TIMEOUTS_US}
 
 
 def test_fig15_conga_timeout(once):

@@ -9,8 +9,8 @@ Paper shape (18a): active probing contributes ~20% and timely rerouting
 
 from _common import emit, mean_over_seeds
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import run_cells
 from repro.experiments.report import format_table
-from repro.experiments.runner import run_experiment
 from repro.experiments.scenarios import bench_topology
 from repro.sim.engine import microseconds
 
@@ -30,8 +30,8 @@ VARIANTS = {
 INTERVALS_US = (100, 500)
 
 
-def run_variant(overrides, seed):
-    config = ExperimentConfig(
+def variant_config(overrides, seed) -> ExperimentConfig:
+    return ExperimentConfig(
         topology=bench_topology(asymmetric=True),
         lb="hermes",
         workload="data-mining",
@@ -42,20 +42,21 @@ def run_variant(overrides, seed):
         time_scale=TIME_SCALE,
         hermes_overrides=overrides,
     )
-    return run_experiment(config)
 
 
 def reproduce():
-    ablation = {
-        name: [run_variant(dict(ov), seed) for seed in SEEDS]
-        for name, ov in VARIANTS.items()
-    }
+    names = list(VARIANTS) + [f"{us}us probes" for us in INTERVALS_US]
+    overrides = [dict(ov) for ov in VARIANTS.values()] + [
+        {"probe_interval_ns": microseconds(us)} for us in INTERVALS_US
+    ]
+    configs = [
+        variant_config(ov, seed) for ov in overrides for seed in SEEDS
+    ]
+    runs = iter(run_cells(configs))
+    by_name = {name: [next(runs) for _ in SEEDS] for name in names}
+    ablation = {name: by_name[name] for name in VARIANTS}
     intervals = {
-        f"{us}us probes": [
-            run_variant({"probe_interval_ns": microseconds(us)}, seed)
-            for seed in SEEDS
-        ]
-        for us in INTERVALS_US
+        f"{us}us probes": by_name[f"{us}us probes"] for us in INTERVALS_US
     }
     return ablation, intervals
 

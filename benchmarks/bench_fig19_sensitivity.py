@@ -8,8 +8,8 @@ workload, aggressive settings suit the steady data-mining workload.
 
 from _common import emit, mean_over_seeds
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import run_cells
 from repro.experiments.report import format_table
-from repro.experiments.runner import run_experiment
 from repro.experiments.scenarios import bench_topology
 
 LOAD = 0.7
@@ -23,8 +23,8 @@ T_HIGH_HOPS = (0.9, 1.2, 1.8)
 DELTA_HOPS = (0.5, 1.0, 2.0)
 
 
-def run_point(workload, overrides, seed):
-    config = ExperimentConfig(
+def point_config(workload, overrides, seed) -> ExperimentConfig:
+    return ExperimentConfig(
         topology=bench_topology(asymmetric=True),
         lb="hermes",
         workload=workload,
@@ -35,33 +35,35 @@ def run_point(workload, overrides, seed):
         time_scale=TIME_SCALE,
         hermes_overrides=overrides,
     )
-    return run_experiment(config)
 
 
 def reproduce():
     topo = bench_topology(asymmetric=True)
     hop = topo.one_hop_delay_ns()
     base = topo.base_rtt_ns()
-    sweeps = {"t_rtt_high": {}, "delta_rtt": {}}
+    # Flatten every sweep point into one batch so all cells fan out over
+    # the worker pool together, then unflatten in the same order.
+    points = []
     for workload in ("web-search", "data-mining"):
-        sweeps["t_rtt_high"][workload] = {
-            hops: [
-                run_point(
-                    workload,
-                    {"t_rtt_high_ns": base + int(hops * hop)},
-                    seed,
-                )
-                for seed in SEEDS
-            ]
-            for hops in T_HIGH_HOPS
-        }
-        sweeps["delta_rtt"][workload] = {
-            hops: [
-                run_point(workload, {"delta_rtt_ns": int(hops * hop)}, seed)
-                for seed in SEEDS
-            ]
-            for hops in DELTA_HOPS
-        }
+        for hops in T_HIGH_HOPS:
+            points.append(
+                ("t_rtt_high", workload, hops,
+                 {"t_rtt_high_ns": base + int(hops * hop)})
+            )
+        for hops in DELTA_HOPS:
+            points.append(
+                ("delta_rtt", workload, hops, {"delta_rtt_ns": int(hops * hop)})
+            )
+    configs = [
+        point_config(workload, overrides, seed)
+        for (_, workload, _, overrides) in points
+        for seed in SEEDS
+    ]
+    runs = iter(run_cells(configs))
+    sweeps = {"t_rtt_high": {}, "delta_rtt": {}}
+    for param, workload, hops, _ in points:
+        by_workload = sweeps[param].setdefault(workload, {})
+        by_workload[hops] = [next(runs) for _ in SEEDS]
     return sweeps
 
 

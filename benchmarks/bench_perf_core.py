@@ -1,0 +1,191 @@
+"""Core performance microbenchmark: engine throughput + grid scaling.
+
+Tracks the repo's performance trajectory from PR 1 onward.  Three
+measurements over one (scheme x load x seed) grid:
+
+1. **serial** — every cell in-process (``jobs=1``, no cache), timed per
+   cell: events/sec of the event loop and per-scheme wall-clock;
+2. **parallel cold** — the same grid through
+   :func:`repro.experiments.parallel.run_cells` with ``--jobs`` workers
+   and an empty cache;
+3. **warm** — the same call again, now served entirely from the cache.
+
+It also asserts that the parallel run's per-flow records are
+bit-identical to the serial run's — the determinism contract, checked on
+every invocation, not just in the test suite.
+
+Results land in ``BENCH_core.json`` at the repo root so successive PRs
+can diff events/sec, parallel speedup, and warm-cache latency.
+
+Run directly (CI uses ``--smoke --jobs 2``)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_core.py [--smoke] [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional, Sequence
+
+sys.path.insert(0, os.path.dirname(__file__))  # for direct execution
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import (
+    code_version,
+    resolve_jobs,
+    run_cells,
+)
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import bench_topology
+
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir, "BENCH_core.json"
+)
+
+#: Default grid: 4 schemes x 2 loads = 8 cells, the shape of a small
+#: paper figure.  ``--smoke`` shrinks it to 4 fast cells for CI.
+SCHEMES = ("ecmp", "letflow", "conga", "hermes")
+LOADS = (0.5, 0.7)
+SMOKE_SCHEMES = ("ecmp", "letflow")
+SMOKE_LOADS = (0.4, 0.6)
+
+
+def build_grid(
+    schemes: Sequence[str],
+    loads: Sequence[float],
+    seeds: Sequence[int],
+    n_flows: int,
+    size_scale: float,
+) -> List[ExperimentConfig]:
+    topology = bench_topology(n_leaves=2, n_spines=2, hosts_per_leaf=4)
+    return [
+        ExperimentConfig(
+            topology=topology,
+            lb=lb,
+            workload="web-search",
+            load=load,
+            n_flows=n_flows,
+            seed=seed,
+            size_scale=size_scale,
+            time_scale=size_scale,
+        )
+        for lb in schemes
+        for load in loads
+        for seed in seeds
+    ]
+
+
+def measure(
+    configs: List[ExperimentConfig], jobs: Optional[int] = None
+) -> Dict:
+    """Time the three phases over ``configs``; returns the report dict."""
+    jobs = resolve_jobs(jobs)
+
+    # Phase 1: serial, timed per cell.
+    per_scheme_wall: Dict[str, float] = {}
+    serial_results = []
+    total_events = 0
+    serial_start = time.perf_counter()
+    for config in configs:
+        cell_start = time.perf_counter()
+        result = run_experiment(config)
+        elapsed = time.perf_counter() - cell_start
+        per_scheme_wall[config.lb] = per_scheme_wall.get(config.lb, 0.0) + elapsed
+        total_events += result.events
+        serial_results.append(result)
+    serial_wall = time.perf_counter() - serial_start
+
+    # Phases 2 + 3: parallel cold then warm, against a throwaway cache.
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
+        cold_start = time.perf_counter()
+        parallel_results = run_cells(
+            configs, jobs=jobs, use_cache=True, cache_dir=cache_dir
+        )
+        cold_wall = time.perf_counter() - cold_start
+
+        warm_start = time.perf_counter()
+        warm_results = run_cells(
+            configs, jobs=jobs, use_cache=True, cache_dir=cache_dir
+        )
+        warm_wall = time.perf_counter() - warm_start
+
+    # Determinism contract: parallel == serial == warm, bit for bit.
+    for serial, cold, warm in zip(serial_results, parallel_results, warm_results):
+        assert serial.stats.records == cold.stats.records, (
+            "parallel run diverged from serial run"
+        )
+        assert cold.stats.records == warm.stats.records, (
+            "cache returned different records"
+        )
+
+    return {
+        "code_version": code_version(),
+        "grid_cells": len(configs),
+        "n_flows": configs[0].n_flows,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "total_events": total_events,
+        "events_per_sec": round(total_events / serial_wall, 1),
+        "serial_wall_s": round(serial_wall, 3),
+        "per_scheme_wall_s": {
+            lb: round(wall, 3) for lb, wall in per_scheme_wall.items()
+        },
+        "parallel_cold_wall_s": round(cold_wall, 3),
+        "parallel_speedup": round(serial_wall / cold_wall, 2),
+        "warm_cache_wall_s": round(warm_wall, 3),
+        "warm_cache_fraction_of_cold": round(warm_wall / cold_wall, 4),
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel workers (default: $REPRO_JOBS, "
+                             "else all cores)")
+    parser.add_argument("--flows", type=int, default=None,
+                        help="flows per cell (default 200; smoke 40)")
+    parser.add_argument("--seeds", type=int, default=1,
+                        help="seeds per (scheme, load) cell")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny 4-cell grid for CI")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    schemes = SMOKE_SCHEMES if args.smoke else SCHEMES
+    loads = SMOKE_LOADS if args.smoke else LOADS
+    n_flows = args.flows or (40 if args.smoke else 200)
+    size_scale = 0.05 if args.smoke else 0.1
+    configs = build_grid(
+        schemes, loads, range(1, args.seeds + 1), n_flows, size_scale
+    )
+
+    report = measure(configs, jobs=args.jobs)
+    report["smoke"] = args.smoke
+    out = os.path.abspath(args.out)
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"\nwritten to {out}")
+    return 0
+
+
+def test_perf_core_smoke(tmp_path):
+    """Pytest entry point: the CI smoke run (4 cells, 2 workers)."""
+    out = tmp_path / "BENCH_core.json"
+    assert main(["--smoke", "--jobs", "2", "--out", str(out)]) == 0
+    report = json.loads(out.read_text())
+    assert report["grid_cells"] == 4
+    assert report["events_per_sec"] > 0
+    # A warm rerun must come from the cache, far faster than simulating.
+    assert report["warm_cache_fraction_of_cold"] < 0.5
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,7 +24,7 @@ TIME_SCALE = 0.2
 
 def run_tcp_grid(workload):
     from repro.experiments.config import ExperimentConfig
-    from repro.experiments.runner import run_experiment
+    from repro.experiments.parallel import grid_configs, grid_results, run_cells
 
     topo = bench_topology(asymmetric=True)
     hop = topo.one_hop_delay_ns()
@@ -34,24 +34,24 @@ def run_tcp_grid(workload):
         "t_rtt_high_ns": base + int(1.5 * 1.2 * hop),
         "delta_rtt_ns": int(1.5 * hop),
     }
-    grid = {}
-    for lb in SCHEMES:
-        grid[lb] = {}
-        for load in LOADS:
-            config = ExperimentConfig(
-                topology=topo,
-                lb=lb,
-                transport="tcp",
-                workload=workload,
-                load=load,
-                n_flows=N_FLOWS,
-                seed=1,
-                size_scale=SIZE_SCALE,
-                time_scale=TIME_SCALE,
-                hermes_overrides=hermes_tcp if lb == "hermes" else {},
-            )
-            grid[lb][load] = [run_experiment(config)]
-    return grid
+
+    def make_config(lb, load, seed):
+        return ExperimentConfig(
+            topology=topo,
+            lb=lb,
+            transport="tcp",
+            workload=workload,
+            load=load,
+            n_flows=N_FLOWS,
+            seed=seed,
+            size_scale=SIZE_SCALE,
+            time_scale=TIME_SCALE,
+            hermes_overrides=hermes_tcp if lb == "hermes" else {},
+        )
+
+    seeds = (1,)
+    configs = grid_configs(SCHEMES, LOADS, seeds, make_config)
+    return grid_results(SCHEMES, LOADS, seeds, run_cells(configs))
 
 
 def test_sec54_tcp_transport(once):

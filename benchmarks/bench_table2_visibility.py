@@ -15,16 +15,16 @@ schemes are nearly blind and Hermes probes actively).
 
 from _common import emit
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import run_cells
 from repro.experiments.report import format_table
-from repro.experiments.runner import run_experiment
 from repro.experiments.scenarios import bench_topology
 
 SIZE_SCALE = 0.1
 N_FLOWS = 250
 
 
-def run_cell(workload: str, load: float):
-    config = ExperimentConfig(
+def cell_config(workload: str, load: float) -> ExperimentConfig:
+    return ExperimentConfig(
         topology=bench_topology(),
         lb="ecmp",
         workload=workload,
@@ -34,16 +34,19 @@ def run_cell(workload: str, load: float):
         size_scale=SIZE_SCALE,
         visibility_sampling=True,
     )
-    result = run_experiment(config)
-    return result.visibility_switch_pair, result.visibility_host_pair
 
 
 def reproduce():
-    cells = {}
-    for workload in ("data-mining", "web-search"):
-        for load in (0.6, 0.8):
-            cells[(workload, load)] = run_cell(workload, load)
-    return cells
+    keys = [
+        (workload, load)
+        for workload in ("data-mining", "web-search")
+        for load in (0.6, 0.8)
+    ]
+    summaries = run_cells([cell_config(w, l) for w, l in keys])
+    return {
+        key: (s.visibility_switch_pair, s.visibility_host_pair)
+        for key, s in zip(keys, summaries)
+    }
 
 
 def test_table2_visibility(once):

@@ -15,8 +15,12 @@ from typing import List, Optional, Sequence
 
 from repro.core.probing import probe_overhead_model
 from repro.experiments.config import ExperimentConfig, FailureSpec
+from repro.experiments.parallel import (
+    ResultCache,
+    ResultSummary,
+    run_cells,
+)
 from repro.experiments.report import format_table
-from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.experiments.scenarios import (
     bench_topology,
     failure_bench_topology,
@@ -30,6 +34,16 @@ TOPOLOGIES = {
     "simulation": simulation_topology,
     "failure-bench": lambda asymmetric=False: failure_bench_topology(),
 }
+
+
+def _positive_int(value: str) -> int:
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{value!r} is not an integer")
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {parsed}")
+    return parsed
 
 
 def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
@@ -47,6 +61,12 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--failure", choices=["random_drop", "blackhole"],
                         default=None)
     parser.add_argument("--drop-rate", type=float, default=0.02)
+    parser.add_argument("--jobs", type=_positive_int, default=None,
+                        help="worker processes for multi-cell runs "
+                             "(default: $REPRO_JOBS, else all cores); "
+                             "1 = in-process")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the on-disk result cache")
 
 
 def _config_from_args(args, lb: str) -> ExperimentConfig:
@@ -76,7 +96,7 @@ def _config_from_args(args, lb: str) -> ExperimentConfig:
     )
 
 
-def _result_row(lb: str, result: ExperimentResult) -> List:
+def _result_row(lb: str, result: ResultSummary) -> List:
     stats = result.stats
     return [
         lb,
@@ -96,7 +116,11 @@ RESULT_HEADERS = [
 
 
 def cmd_run(args) -> int:
-    result = run_experiment(_config_from_args(args, args.lb))
+    result = run_cells(
+        [_config_from_args(args, args.lb)],
+        jobs=1,
+        use_cache=False if args.no_cache else None,
+    )[0]
     print(format_table(RESULT_HEADERS, [_result_row(args.lb, result)]))
     return 0
 
@@ -106,11 +130,25 @@ def cmd_compare(args) -> int:
     if not schemes:
         print("no schemes given", file=sys.stderr)
         return 2
-    rows = []
-    for lb in schemes:
-        result = run_experiment(_config_from_args(args, lb))
-        rows.append(_result_row(lb, result))
+    configs = [_config_from_args(args, lb) for lb in schemes]
+    results = run_cells(
+        configs, jobs=args.jobs, use_cache=False if args.no_cache else None
+    )
+    rows = [
+        _result_row(lb, result) for lb, result in zip(schemes, results)
+    ]
     print(format_table(RESULT_HEADERS, rows))
+    return 0
+
+
+def cmd_cache(args) -> int:
+    cache = ResultCache()
+    if args.clear:
+        removed = cache.clear()
+        print(f"cleared {removed} cached results from {cache.directory}")
+    else:
+        print(f"cache dir: {cache.directory}")
+        print(f"entries:   {cache.size()}")
     return 0
 
 
@@ -157,12 +195,25 @@ def build_parser() -> argparse.ArgumentParser:
     probe_parser.add_argument("--interval-us", type=float, default=500.0)
     probe_parser.set_defaults(fn=cmd_probe_model)
 
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or clear the experiment result cache"
+    )
+    cache_parser.add_argument("--clear", action="store_true",
+                              help="delete all cached results")
+    cache_parser.set_defaults(fn=cmd_cache)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ValueError as exc:
+        # Bad knob values (e.g. a garbage REPRO_JOBS) get a clean
+        # one-line error, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,367 @@
+"""Parallel experiment execution with a content-addressed result cache.
+
+Every paper figure is a (scheme x load x seed) grid of independent,
+seeded, deterministic simulations.  This module fans those cells out over
+a :class:`~concurrent.futures.ProcessPoolExecutor` and memoizes finished
+cells on disk, keyed by a stable hash of the full configuration plus a
+hash of the ``repro`` source tree — re-running a bench only simulates
+cells whose config or code actually changed.
+
+Three invariants the rest of the repo relies on:
+
+* **Determinism** — a parallel run produces bit-identical per-flow
+  records to a serial run of the same grid (each cell's randomness comes
+  exclusively from ``RngStreams(config.seed)``, so process boundaries
+  cannot perturb it).  Enforced by ``tests/test_parallel.py``.
+* **Order** — :func:`run_cells` returns results in input order, whatever
+  order the pool finishes them in.
+* **Picklability** — workers return a slim :class:`ResultSummary` (the
+  :class:`~repro.experiments.runner.ExperimentResult` minus the live
+  ``fabric``/``shared`` objects, which hold the simulator and cannot
+  cross a process boundary).
+
+Knobs (CLI flags override the environment):
+
+* ``REPRO_JOBS`` — worker count; ``1`` forces the in-process serial path
+  (handy under a debugger).  Default: ``os.cpu_count()``.
+* ``REPRO_CACHE`` — set to ``0``/``off`` to disable the cache.
+* ``REPRO_CACHE_DIR`` — cache location.  Default: ``~/.cache/repro-grid``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.metrics.fct import FctStats
+
+#: Bump when the cache entry layout changes (not when simulation code
+#: does — code changes are caught by :func:`code_version`).
+CACHE_FORMAT = 1
+
+
+# --------------------------------------------------------------------- #
+# Result summaries
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class ResultSummary:
+    """Everything a bench prints, in picklable form.
+
+    The same read surface as :class:`ExperimentResult` (``stats``,
+    ``mean_fct_ms``, visibility, reroute counts) without the live
+    ``fabric``/``shared`` objects.  Benches that need the fabric itself
+    must run in-process via :func:`run_experiment`.
+    """
+
+    config: ExperimentConfig
+    stats: FctStats
+    sim_time_ns: int
+    events: int
+    total_reroutes: int
+    visibility_switch_pair: Optional[float] = None
+    visibility_host_pair: Optional[float] = None
+
+    @property
+    def mean_fct_ms(self) -> float:
+        return self.stats.mean_ms()
+
+    def mean_fct_ms_with_penalty(self) -> float:
+        """Average FCT counting unfinished flows at the full run length —
+        how the paper's blackhole figures account for them."""
+        return self.stats.mean_ms(penalize_unfinished_ns=self.sim_time_ns)
+
+    @classmethod
+    def from_result(cls, result: ExperimentResult) -> "ResultSummary":
+        return cls(
+            config=result.config,
+            stats=result.stats,
+            sim_time_ns=result.sim_time_ns,
+            events=result.events,
+            total_reroutes=result.total_reroutes,
+            visibility_switch_pair=result.visibility_switch_pair,
+            visibility_host_pair=result.visibility_host_pair,
+        )
+
+
+def _run_cell(config: ExperimentConfig) -> ResultSummary:
+    """Worker entry point: one cell, summarized.  Must stay module-level
+    so the pool can import it by reference."""
+    return ResultSummary.from_result(run_experiment(config))
+
+
+# --------------------------------------------------------------------- #
+# Stable config hashing
+# --------------------------------------------------------------------- #
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a deterministic, order-independent structure.
+
+    Dataclasses become (classname, sorted field items); dict iteration
+    order is erased by sorting on the repr of the canonical key.  Floats
+    go through ``repr`` (shortest round-trip form, platform-stable).
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return (
+            type(obj).__name__,
+            tuple(
+                (f.name, _canonical(getattr(obj, f.name)))
+                for f in dataclasses.fields(obj)
+            ),
+        )
+    if isinstance(obj, dict):
+        items = [(_canonical(k), _canonical(v)) for k, v in obj.items()]
+        return ("dict", tuple(sorted(items, key=repr)))
+    if isinstance(obj, (list, tuple)):
+        return tuple(_canonical(v) for v in obj)
+    if isinstance(obj, (set, frozenset)):
+        return ("set", tuple(sorted((_canonical(v) for v in obj), key=repr)))
+    if isinstance(obj, float):
+        return ("float", repr(obj))
+    if obj is None or isinstance(obj, (bool, int, str, bytes)):
+        return obj
+    # Last resort: objects with a stable repr (enums, params objects).
+    return ("repr", repr(obj))
+
+
+_code_version_cache: Optional[str] = None
+
+
+def code_version() -> str:
+    """Hash of every ``repro`` source file — any code change invalidates
+    the whole cache, which is the only safe default for a simulator whose
+    output *is* its code's behaviour."""
+    global _code_version_cache
+    if _code_version_cache is None:
+        import repro
+
+        digest = hashlib.sha256()
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        for dirpath, dirnames, filenames in sorted(os.walk(root)):
+            dirnames.sort()
+            for fname in sorted(filenames):
+                if not fname.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, fname)
+                digest.update(os.path.relpath(path, root).encode())
+                with open(path, "rb") as fh:
+                    digest.update(fh.read())
+        _code_version_cache = digest.hexdigest()[:16]
+    return _code_version_cache
+
+
+def config_key(config: ExperimentConfig) -> str:
+    """Content address of one cell: config hash + code version."""
+    payload = repr((_canonical(config), CACHE_FORMAT)).encode()
+    return f"{hashlib.sha256(payload).hexdigest()[:32]}-{code_version()}"
+
+
+# --------------------------------------------------------------------- #
+# On-disk cache
+# --------------------------------------------------------------------- #
+
+
+def default_cache_dir() -> str:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(
+        os.environ.get("XDG_CACHE_HOME", os.path.expanduser("~/.cache")),
+        "repro-grid",
+    )
+
+
+def cache_enabled() -> bool:
+    return os.environ.get("REPRO_CACHE", "1").lower() not in ("0", "off", "no")
+
+
+class ResultCache:
+    """Pickled :class:`ResultSummary` objects under content addresses."""
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = directory or default_cache_dir()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.pkl")
+
+    def get(self, config: ExperimentConfig) -> Optional[ResultSummary]:
+        try:
+            with open(self._path(config_key(config)), "rb") as fh:
+                return pickle.load(fh)
+        except OSError:
+            return None  # plain miss
+        except Exception:
+            # Unpickling corrupt bytes can raise nearly anything
+            # (UnpicklingError, ValueError, EOFError, ImportError, ...);
+            # a stale or damaged entry is never fatal — just re-simulate.
+            return None
+
+    def put(self, config: ExperimentConfig, summary: ResultSummary) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        # Atomic publish so a concurrent reader never sees a half-written
+        # pickle (two benches may share the cache).
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(summary, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(config_key(config)))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete all entries; returns how many were removed."""
+        removed = 0
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return 0
+        for name in names:
+            if name.endswith((".pkl", ".tmp")):
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def size(self) -> int:
+        try:
+            return sum(
+                1 for n in os.listdir(self.directory) if n.endswith(".pkl")
+            )
+        except OSError:
+            return 0
+
+
+# --------------------------------------------------------------------- #
+# Execution
+# --------------------------------------------------------------------- #
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Explicit argument > ``REPRO_JOBS`` env > ``os.cpu_count()``."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS")
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_JOBS must be an integer, got {env!r}"
+                ) from None
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def run_cells(
+    configs: Sequence[ExperimentConfig],
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
+) -> List[ResultSummary]:
+    """Run every cell, in parallel, through the cache; results in input
+    order.
+
+    Args:
+        configs: the grid cells.
+        jobs: worker processes (see :func:`resolve_jobs`); ``1`` keeps
+            everything in-process — identical results, easier debugging.
+        use_cache: override the ``REPRO_CACHE`` env switch.
+        cache_dir: override the cache location.
+    """
+    jobs = resolve_jobs(jobs)
+    if use_cache is None:
+        use_cache = cache_enabled()
+    cache = ResultCache(cache_dir) if use_cache else None
+
+    results: List[Optional[ResultSummary]] = [None] * len(configs)
+    misses: List[int] = []
+    for i, config in enumerate(configs):
+        hit = cache.get(config) if cache is not None else None
+        if hit is not None:
+            results[i] = hit
+        else:
+            misses.append(i)
+
+    if misses:
+        if jobs == 1 or len(misses) == 1:
+            for i in misses:
+                results[i] = _run_cell(configs[i])
+        else:
+            from concurrent.futures import ProcessPoolExecutor
+
+            workers = min(jobs, len(misses))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for i, summary in zip(
+                    misses, pool.map(_run_cell, (configs[i] for i in misses))
+                ):
+                    results[i] = summary
+        if cache is not None:
+            for i in misses:
+                cache.put(configs[i], results[i])
+
+    return results  # type: ignore[return-value]
+
+
+def run_cell(
+    config: ExperimentConfig,
+    use_cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
+) -> ResultSummary:
+    """Single-cell convenience wrapper (cache-aware, always in-process)."""
+    return run_cells(
+        [config], jobs=1, use_cache=use_cache, cache_dir=cache_dir
+    )[0]
+
+
+def grid_configs(
+    schemes: Sequence[str],
+    loads: Sequence[float],
+    seeds: Sequence[int],
+    make_config,
+) -> List[ExperimentConfig]:
+    """Flatten a (scheme x load x seed) grid into a config list.
+
+    ``make_config(scheme, load, seed)`` builds one cell; cells are ordered
+    scheme-major, then load, then seed — the traversal order every bench
+    table assumes.
+    """
+    return [
+        make_config(lb, load, seed)
+        for lb in schemes
+        for load in loads
+        for seed in seeds
+    ]
+
+
+def grid_results(
+    schemes: Sequence[str],
+    loads: Sequence[float],
+    seeds: Sequence[int],
+    summaries: Sequence[ResultSummary],
+) -> Dict[str, Dict[float, List[ResultSummary]]]:
+    """Reassemble :func:`grid_configs`-ordered summaries into the nested
+    ``{scheme: {load: [per-seed results]}}`` shape benches consume."""
+    out: Dict[str, Dict[float, List[ResultSummary]]] = {}
+    it = iter(summaries)
+    for lb in schemes:
+        out[lb] = {}
+        for load in loads:
+            out[lb][load] = [next(it) for _ in seeds]
+    return out

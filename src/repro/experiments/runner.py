@@ -124,6 +124,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         remaining -= 1
         if sampler is not None:
             sampler.flow_finished(flow)
+        if remaining == 0:
+            sim.stop()
 
     fabric.on_flow_done = on_done
 
@@ -141,10 +143,9 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         sim.schedule_at(arrival.time_ns, start_flow, arrival)
 
     deadline = arrivals[-1].time_ns + config.extra_drain_ns
-    # Run in slices so we can stop as soon as all flows complete.
-    slice_ns = max(1, (deadline - sim.now) // 200)
-    while remaining > 0 and sim.now < deadline:
-        sim.run(until=min(sim.now + slice_ns, deadline))
+    # One uninterrupted run: the last flow's completion callback calls
+    # sim.stop(), ending the loop at exactly that event — no slice polling.
+    sim.run(until=deadline)
     if sampler is not None:
         sampler.stop()
 

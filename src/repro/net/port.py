@@ -49,6 +49,10 @@ class OutputPort:
         "sim",
         "name",
         "rate_bps",
+        "_rate_num",
+        "_rate_den",
+        "_tx_cache",
+        "_schedule",
         "prop_delay_ns",
         "buffer_bytes",
         "ecn_threshold_bytes",
@@ -84,6 +88,13 @@ class OutputPort:
         self.sim = sim
         self.name = name
         self.rate_bps = rate_bps
+        # Exact serialization time: express the (possibly float) rate as
+        # an exact integer ratio so tx times are pure integer arithmetic —
+        # bit-reproducible across platforms, as the engine promises.  The
+        # common case (integral bps) has den == 1.
+        self._rate_num, self._rate_den = rate_bps.as_integer_ratio()
+        self._tx_cache: dict = {}
+        self._schedule = sim.schedule  # bound-method cache for the hot path
         self.prop_delay_ns = prop_delay_ns
         self.buffer_bytes = buffer_bytes
         self.ecn_threshold_bytes = ecn_threshold_bytes
@@ -109,8 +120,18 @@ class OutputPort:
     # ------------------------------------------------------------------ #
 
     def tx_time_ns(self, size_bytes: int) -> int:
-        """Serialization delay for ``size_bytes`` on this link."""
-        return int(size_bytes * 8 * 1e9 / self.rate_bps)
+        """Serialization delay for ``size_bytes`` on this link.
+
+        Computed as ``size_bytes * 8 * 10**9 // rate`` in exact integer
+        arithmetic (the rate's exact num/den ratio), so the result is
+        identical on every platform regardless of FPU behaviour.  Packet
+        sizes repeat constantly, so results are memoized per port.
+        """
+        tx = self._tx_cache.get(size_bytes)
+        if tx is None:
+            tx = size_bytes * 8_000_000_000 * self._rate_den // self._rate_num
+            self._tx_cache[size_bytes] = tx
+        return tx
 
     def enqueue(self, packet: Packet) -> bool:
         """Accept a packet into the queue.
@@ -119,12 +140,15 @@ class OutputPort:
         injected failure); the caller never learns which — exactly like a
         real network, losses surface only through transport timeouts.
         """
-        now = self.sim.now
-        for predicate in self.drop_predicates:
-            if predicate(packet, now):
-                self.drops_injected += 1
-                return False
-        if self.backlog_bytes + packet.size > self.buffer_bytes:
+        if self.drop_predicates:
+            now = self.sim.now
+            for predicate in self.drop_predicates:
+                if predicate(packet, now):
+                    self.drops_injected += 1
+                    return False
+        size = packet.size
+        backlog = self.backlog_bytes + size
+        if backlog > self.buffer_bytes:
             self.drops_overflow += 1
             return False
         if (
@@ -133,11 +157,12 @@ class OutputPort:
             and self.backlog_bytes >= self.ecn_threshold_bytes
         ):
             packet.ce = True
-        self.backlog_bytes += packet.size
-        if self.backlog_bytes > self.max_backlog:
-            self.max_backlog = self.backlog_bytes
-        if packet.kind == PacketKind.DATA or packet.kind == PacketKind.UDP:
-            self.data_bytes_enqueued += packet.size
+        self.backlog_bytes = backlog
+        if backlog > self.max_backlog:
+            self.max_backlog = backlog
+        kind = packet.kind
+        if kind == PacketKind.DATA or kind == PacketKind.UDP:
+            self.data_bytes_enqueued += size
         self._queues[packet.priority].append(packet)
         if not self.busy:
             self._start_next()
@@ -149,7 +174,7 @@ class OutputPort:
             if queue:
                 packet = queue.popleft()
                 self.busy = True
-                self.sim.schedule(
+                self._schedule(
                     self.tx_time_ns(packet.size), self._tx_done, packet
                 )
                 return
@@ -157,16 +182,18 @@ class OutputPort:
 
     def _tx_done(self, packet: Packet) -> None:
         """The last bit has left: account, stamp DRE, propagate."""
-        self.backlog_bytes -= packet.size
-        self.bytes_sent += packet.size
+        size = packet.size
+        self.backlog_bytes -= size
+        self.bytes_sent += size
         self.pkts_sent += 1
-        self._dre_add(packet.size)
-        if packet.kind == PacketKind.DATA or packet.kind == PacketKind.UDP:
+        self._dre_add(size)
+        kind = packet.kind
+        if kind == PacketKind.DATA or kind == PacketKind.UDP:
             metric = self.dre_quantized()
             if metric > packet.conga_metric:
                 packet.conga_metric = metric
         if self.forward is not None:
-            self.sim.schedule(self.prop_delay_ns, self.forward, packet)
+            self._schedule(self.prop_delay_ns, self.forward, packet)
         self._start_next()
 
     # ------------------------------------------------------------------ #

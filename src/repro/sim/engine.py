@@ -10,7 +10,11 @@ nanosecond).
 from __future__ import annotations
 
 import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Optional
+
+#: Sentinel "never" time: larger than any reachable simulation clock.
+_NEVER = (1 << 63) - 1
 
 NS_PER_US = 1_000
 NS_PER_MS = 1_000_000
@@ -82,12 +86,16 @@ class Simulator:
         self._seq: int = 0
         self._events_fired: int = 0
         self._running = False
+        self._stop_requested = False
 
     def schedule(self, delay_ns: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay_ns`` nanoseconds from now."""
         if delay_ns < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay_ns})")
-        return self.schedule_at(self.now + delay_ns, fn, *args)
+        event = Event(self.now + delay_ns, self._seq, fn, args)
+        self._seq += 1
+        heappush(self._queue, event)
+        return event
 
     def schedule_at(self, time_ns: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at an absolute simulation time."""
@@ -97,7 +105,7 @@ class Simulator:
             )
         event = Event(time_ns, self._seq, fn, args)
         self._seq += 1
-        heapq.heappush(self._queue, event)
+        heappush(self._queue, event)
         return event
 
     def cancel(self, event: Optional[Event]) -> None:
@@ -121,41 +129,63 @@ class Simulator:
             heapq.heappop(self._queue)
         return self._queue[0].time if self._queue else None
 
+    def stop(self) -> None:
+        """Ask the running loop to return after the current event.
+
+        Lets a callback (e.g. "last flow finished") end the run at the
+        exact event that satisfied the stop condition instead of polling
+        in time slices.  A no-op outside :meth:`run`.
+        """
+        self._stop_requested = True
+
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Run the event loop.
 
         Args:
             until: stop once the clock would pass this absolute time.  The
-                clock is advanced to ``until`` on exit.
+                clock is advanced to ``until`` on exit (unless a callback
+                called :meth:`stop` first).
             max_events: stop after this many events have fired.
 
         Returns:
             The number of events fired during this call.
+
+        Raises:
+            RuntimeError: if called from inside an event callback — the
+                loop is not re-entrant.
         """
+        if self._running:
+            raise RuntimeError(
+                "Simulator.run() is not re-entrant; "
+                "use schedule()/stop() from within callbacks"
+            )
         queue = self._queue
-        fired_before = self._events_fired
+        pop = heappop
+        horizon = _NEVER if until is None else until
+        limit = _NEVER if max_events is None else max_events
+        fired = 0
+        self._stop_requested = False
         self._running = True
         try:
             while queue:
                 event = queue[0]
                 if event.cancelled:
-                    heapq.heappop(queue)
+                    pop(queue)
                     continue
-                if until is not None and event.time > until:
+                if event.time > horizon or fired >= limit:
                     break
-                if max_events is not None and (
-                    self._events_fired - fired_before
-                ) >= max_events:
-                    break
-                heapq.heappop(queue)
+                pop(queue)
                 self.now = event.time
-                self._events_fired += 1
+                fired += 1
                 event.fn(*event.args)
+                if self._stop_requested:
+                    break
         finally:
+            self._events_fired += fired
             self._running = False
-        if until is not None and self.now < until:
+        if until is not None and not self._stop_requested and self.now < until:
             self.now = until
-        return self._events_fired - fired_before
+        return fired
 
     def reset(self) -> None:
         """Drop all pending events and rewind the clock to zero."""
@@ -163,3 +193,4 @@ class Simulator:
         self.now = 0
         self._seq = 0
         self._events_fired = 0
+        self._stop_requested = False

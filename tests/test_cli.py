@@ -57,6 +57,8 @@ class TestCommands:
         ])
         assert code == 0
 
-    def test_unknown_scheme_raises(self):
-        with pytest.raises(ValueError):
-            main(["run", "--lb", "bogus", "--flows", "5"])
+    def test_unknown_scheme_is_a_clean_error(self, capsys):
+        # Bad values exit 2 with a one-line message, not a traceback.
+        assert main(["run", "--lb", "bogus", "--flows", "5"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown load balancer 'bogus'" in err

@@ -1,0 +1,233 @@
+"""Tests for parallel grid execution and the on-disk result cache.
+
+The contracts under test (see ``repro/experiments/parallel.py``):
+determinism (parallel == serial, bit for bit), cache identity (a hit
+returns exactly what the miss computed), cache-key sensitivity (any
+config change means a different key), and cross-process RNG independence
+(worker processes cannot perturb each other's seeded streams).
+"""
+
+import dataclasses
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.experiments import parallel
+from repro.experiments.config import ExperimentConfig, FailureSpec
+from repro.experiments.parallel import (
+    ResultCache,
+    ResultSummary,
+    config_key,
+    resolve_jobs,
+    run_cell,
+    run_cells,
+)
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import bench_topology
+from repro.sim.rng import RngStreams
+
+
+def tiny_config(**overrides):
+    defaults = dict(
+        topology=bench_topology(n_leaves=2, n_spines=2, hosts_per_leaf=2),
+        lb="ecmp",
+        workload="web-search",
+        load=0.4,
+        n_flows=25,
+        seed=1,
+        size_scale=0.05,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def tiny_grid():
+    return [
+        tiny_config(lb=lb, seed=seed)
+        for lb in ("ecmp", "letflow")
+        for seed in (1, 2)
+    ]
+
+
+def _summaries_equal(a: ResultSummary, b: ResultSummary) -> bool:
+    return (
+        a.stats.records == b.stats.records
+        and a.sim_time_ns == b.sim_time_ns
+        and a.events == b.events
+        and a.total_reroutes == b.total_reroutes
+        and a.visibility_switch_pair == b.visibility_switch_pair
+        and a.visibility_host_pair == b.visibility_host_pair
+    )
+
+
+def _rng_draws(seed: int):
+    """Worker helper: a deterministic sample from two named streams.
+    Module-level so the process pool can pickle it by reference."""
+    streams = RngStreams(seed)
+    return (
+        [streams.get("workload").random() for _ in range(5)],
+        [streams.get("letflow").random() for _ in range(5)],
+    )
+
+
+class TestDeterminism:
+    def test_parallel_bit_identical_to_serial(self):
+        grid = tiny_grid()
+        serial = run_cells(grid, jobs=1, use_cache=False)
+        parallel_ = run_cells(grid, jobs=2, use_cache=False)
+        for s, p in zip(serial, parallel_):
+            assert s.stats.records == p.stats.records  # per-flow FCTs
+            assert _summaries_equal(s, p)
+
+    def test_summary_matches_in_process_run(self):
+        config = tiny_config(seed=7)
+        direct = run_experiment(config)
+        summary = run_cells([config], jobs=2, use_cache=False)[0]
+        assert summary.stats.records == direct.stats.records
+        assert summary.events == direct.events
+        assert summary.sim_time_ns == direct.sim_time_ns
+
+    def test_results_in_input_order(self):
+        grid = tiny_grid()
+        results = run_cells(grid, jobs=2, use_cache=False)
+        for config, summary in zip(grid, results):
+            assert summary.config.lb == config.lb
+            assert summary.config.seed == config.seed
+
+    def test_summary_is_picklable(self):
+        summary = run_cell(tiny_config(), use_cache=False)
+        clone = pickle.loads(pickle.dumps(summary))
+        assert _summaries_equal(summary, clone)
+
+
+class TestCache:
+    def test_hit_returns_identical_summary(self, tmp_path):
+        config = tiny_config(seed=3)
+        cold = run_cell(config, cache_dir=str(tmp_path))
+        warm = run_cell(config, cache_dir=str(tmp_path))
+        assert _summaries_equal(cold, warm)
+
+    def test_hit_skips_simulation(self, tmp_path, monkeypatch):
+        grid = tiny_grid()
+        run_cells(grid, jobs=1, cache_dir=str(tmp_path))
+
+        def boom(config):
+            raise AssertionError("cache miss: simulation re-ran")
+
+        monkeypatch.setattr(parallel, "_run_cell", boom)
+        run_cells(grid, jobs=1, cache_dir=str(tmp_path))  # must not raise
+
+    def test_disabled_cache_writes_nothing(self, tmp_path):
+        run_cell(tiny_config(), use_cache=False, cache_dir=str(tmp_path))
+        assert ResultCache(str(tmp_path)).size() == 0
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [b"not a pickle", b"garbage\n", b"", b"\x80\x05"],
+        ids=["text", "pickle-opcode-prefix", "empty", "truncated"],
+    )
+    def test_corrupt_entry_is_a_miss(self, tmp_path, garbage):
+        config = tiny_config()
+        cache = ResultCache(str(tmp_path))
+        cold = run_cell(config, cache_dir=str(tmp_path))
+        path = cache._path(config_key(config))
+        with open(path, "wb") as fh:
+            fh.write(garbage)
+        again = run_cell(config, cache_dir=str(tmp_path))
+        assert _summaries_equal(cold, again)
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        run_cell(tiny_config(), cache_dir=str(tmp_path))
+        assert cache.size() == 1
+        assert cache.clear() == 1
+        assert cache.size() == 0
+
+    def test_visibility_fields_survive_the_cache(self, tmp_path):
+        config = tiny_config(visibility_sampling=True)
+        cold = run_cell(config, cache_dir=str(tmp_path))
+        warm = run_cell(config, cache_dir=str(tmp_path))
+        assert cold.visibility_switch_pair is not None
+        assert warm.visibility_switch_pair == cold.visibility_switch_pair
+        assert warm.visibility_host_pair == cold.visibility_host_pair
+
+
+class TestCacheKey:
+    def test_stable_across_identical_configs(self):
+        assert config_key(tiny_config()) == config_key(tiny_config())
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"seed": 2},
+            {"load": 0.5},
+            {"n_flows": 26},
+            {"lb": "letflow"},
+            {"workload": "data-mining"},
+            {"size_scale": 0.06},
+            {"time_scale": 0.5},
+            {"transport": "tcp"},
+            {"dupthresh": 4},
+            {"reorder_mask_us": 100.0},
+            {"lb_params": {"flowlet_timeout_ns": 123}},
+            {"hermes_overrides": {"probing_enabled": False}},
+            {"extra_drain_ns": 1_000_000_000},
+            {"visibility_sampling": True},
+            {"failure": FailureSpec(kind="random_drop", drop_rate=0.01)},
+            {
+                "topology": bench_topology(
+                    n_leaves=2, n_spines=2, hosts_per_leaf=3
+                )
+            },
+        ],
+        ids=lambda change: next(iter(change)),
+    )
+    def test_any_field_change_changes_key(self, change):
+        assert config_key(tiny_config(**change)) != config_key(tiny_config())
+
+    def test_dict_order_does_not_change_key(self):
+        a = tiny_config(lb_params={"a": 1, "b": 2})
+        b = tiny_config(lb_params={"b": 2, "a": 1})
+        assert config_key(a) == config_key(b)
+
+    def test_key_embeds_code_version(self):
+        assert config_key(tiny_config()).endswith(parallel.code_version())
+
+
+class TestRngAcrossProcesses:
+    def test_worker_streams_match_in_process_streams(self):
+        seeds = [1, 2, 3, 4]
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            worker = list(pool.map(_rng_draws, seeds))
+        local = [_rng_draws(seed) for seed in seeds]
+        assert worker == local
+
+    def test_streams_independent_across_seeds(self):
+        a, b = _rng_draws(1), _rng_draws(2)
+        assert a[0] != b[0]
+        assert a[1] != b[1]
+
+    def test_named_streams_independent_of_each_other(self):
+        workload, letflow = _rng_draws(1)
+        assert workload != letflow
+
+
+class TestResolveJobs:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs() == 5
+
+    def test_default_is_cpu_count(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs() == (os.cpu_count() or 1)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(0)

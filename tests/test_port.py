@@ -56,6 +56,24 @@ class TestSerialization:
         with pytest.raises(ValueError):
             OutputPort(Simulator(), "bad", 0, 0, 1000, 100)
 
+    def test_tx_time_exact_integer_arithmetic(self):
+        # tx = size * 8 * 10**9 // rate, exactly — no float truncation.
+        from fractions import Fraction
+
+        sim = Simulator()
+        for rate_bps in (10e9, 1e9, 2.5e9, 40e9, 3_000_000_000, 7e9):
+            port = OutputPort(sim, "x", rate_bps, 0, 10**9, 0)
+            for size in (40, 1460, 1500, 9000, 12_345_678):
+                exact = int(
+                    Fraction(size * 8 * 10**9) / Fraction(rate_bps)
+                )
+                assert port.tx_time_ns(size) == exact
+
+    def test_tx_time_integer_rate(self):
+        sim = Simulator()
+        port = OutputPort(sim, "int-rate", 10**10, 0, 10**9, 0)
+        assert port.tx_time_ns(1500) == 1200
+
 
 class TestPriority:
     def test_high_priority_jumps_queue(self):

@@ -152,6 +152,66 @@ class TestRunControl:
         assert sim.events_fired == 0
 
 
+class TestStop:
+    def test_stop_ends_run_at_current_event(self, sim):
+        fired = []
+        sim.schedule(10, fired.append, "a")
+
+        def stop_now():
+            fired.append("stop")
+            sim.stop()
+
+        sim.schedule(20, stop_now)
+        sim.schedule(30, fired.append, "never")
+        sim.run()
+        assert fired == ["a", "stop"]
+        assert sim.now == 20
+
+    def test_stop_with_until_leaves_clock_at_stop_event(self, sim):
+        sim.schedule(10, sim.stop)
+        sim.schedule(20, lambda: None)
+        sim.run(until=1_000)
+        assert sim.now == 10  # not advanced to `until`
+
+    def test_stop_does_not_persist_to_next_run(self, sim):
+        fired = []
+        sim.schedule(10, sim.stop)
+        sim.run()
+        sim.schedule(10, fired.append, "second-run")
+        sim.run()
+        assert fired == ["second-run"]
+
+    def test_stop_outside_run_is_noop(self, sim):
+        fired = []
+        sim.stop()
+        sim.schedule(10, fired.append, 1)
+        sim.run()
+        assert fired == [1]
+
+
+class TestReentrancy:
+    def test_reentrant_run_raises(self, sim):
+        errors = []
+
+        def nested():
+            try:
+                sim.run()
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        sim.schedule(10, nested)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_engine_still_usable_after_reentrant_attempt(self, sim):
+        sim.schedule(10, lambda: pytest.raises(RuntimeError, sim.run))
+        sim.run()
+        fired = []
+        sim.schedule(5, fired.append, 1)
+        assert sim.run() == 1
+        assert fired == [1]
+
+
 class TestDeterminism:
     def test_identical_runs_identical_traces(self):
         def trace():
