@@ -67,6 +67,10 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
                              "1 = in-process")
     parser.add_argument("--no-cache", action="store_true",
                         help="skip the on-disk result cache")
+    parser.add_argument("--validate", action="store_true",
+                        help="run under the repro.validate invariant "
+                             "layer (conservation, FIFO, clock, ECN, "
+                             "path-state checks)")
 
 
 def _config_from_args(args, lb: str) -> ExperimentConfig:
@@ -92,6 +96,7 @@ def _config_from_args(args, lb: str) -> ExperimentConfig:
         size_scale=args.size_scale,
         time_scale=time_scale,
         failure=failure,
+        validate=args.validate,
         **extra,
     )
 
@@ -152,6 +157,86 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.validate.fuzz import chaos_command, run_case, run_sweep, shrink_case
+
+    if args.seed is not None:
+        # Single-case replay: the command every violation fingerprint
+        # points back to.
+        case = run_case(args.seed, raise_error=not args.shrink)
+        if case.ok:
+            inv = case.invariants or {}
+            print(
+                f"seed {args.seed}: OK — {case.config.lb}/"
+                f"{case.config.transport}, {case.events} events, "
+                f"{inv.get('packets_sent', 0)} packets, "
+                f"{inv.get('marks_checked', 0)} marks checked"
+            )
+            return 0
+        print(f"seed {args.seed}: VIOLATION\n{case.error}", file=sys.stderr)
+        if args.shrink:
+            shrunk = shrink_case(case.config)
+            print(
+                f"\nshrunk after {shrunk.attempts} runs to:\n"
+                f"{shrunk.config!r}\n{shrunk.error}",
+                file=sys.stderr,
+            )
+        return 1
+
+    seeds = range(args.base_seed, args.base_seed + args.cases)
+    results = run_sweep(seeds)
+    failures = [case for case in results if not case.ok]
+    rows = [
+        [
+            case.seed,
+            case.config.lb,
+            case.config.failure.kind if case.config.failure else "-",
+            case.events,
+            "VIOLATION" if not case.ok else "ok",
+        ]
+        for case in results
+    ]
+    print(format_table(["seed", "scheme", "failure", "events", "verdict"], rows))
+    if failures:
+        for case in failures:
+            print(f"\n{case.error}", file=sys.stderr)
+            print(f"replay: {chaos_command(case.seed)}", file=sys.stderr)
+        return 1
+    print(f"\n{len(results)} cases, all invariants held")
+    return 0
+
+
+def cmd_golden(args) -> int:
+    from repro.validate import golden
+
+    path = args.path or golden.DEFAULT_PATH
+    actual = golden.compute_reference()
+    if args.refresh:
+        golden.write_reference(actual, path)
+        print(f"golden reference written to {path}")
+        return 0
+    expected = golden.load_reference(path)
+    if expected is None:
+        print(
+            f"no golden reference at {path}; create one with "
+            "python -m repro golden --refresh",
+            file=sys.stderr,
+        )
+        return 2
+    mismatches = golden.compare_reference(expected, actual)
+    if mismatches:
+        print("golden grid drifted:", file=sys.stderr)
+        for line in mismatches:
+            print(f"  {line}", file=sys.stderr)
+        print(
+            "if the change is intentional: python -m repro golden --refresh",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"golden grid matches {path} ({len(actual['cells'])} cells)")
+    return 0
+
+
 def cmd_probe_model(args) -> int:
     model = probe_overhead_model(
         n_leaves=args.leaves,
@@ -201,6 +286,33 @@ def build_parser() -> argparse.ArgumentParser:
     cache_parser.add_argument("--clear", action="store_true",
                               help="delete all cached results")
     cache_parser.set_defaults(fn=cmd_cache)
+
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="run seeded chaos scenarios under full invariant checking",
+    )
+    chaos_parser.add_argument("--seed", type=int, default=None,
+                              help="replay a single case by seed")
+    chaos_parser.add_argument("--cases", type=_positive_int, default=50,
+                              help="number of cases in sweep mode")
+    chaos_parser.add_argument("--base-seed", type=int, default=1,
+                              help="first seed of the sweep")
+    chaos_parser.add_argument("--shrink", action="store_true",
+                              help="on violation, shrink to a minimal "
+                                   "failing config")
+    chaos_parser.set_defaults(fn=cmd_chaos)
+
+    golden_parser = sub.add_parser(
+        "golden",
+        help="check (or refresh) the golden reference-grid statistics",
+    )
+    golden_parser.add_argument("--refresh", action="store_true",
+                               help="recompute and overwrite the "
+                                    "committed reference")
+    golden_parser.add_argument("--path", default=None,
+                               help="reference JSON location (default: "
+                                    "tests/golden/reference_grid.json)")
+    golden_parser.set_defaults(fn=cmd_golden)
 
     return parser
 

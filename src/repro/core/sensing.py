@@ -130,6 +130,9 @@ class HermesLeafState:
         self._table: Dict[Tuple[int, int], PathState] = {}
         self.failed_detections = 0
         self._sweep_started = False
+        #: Optional invariant checker (see :mod:`repro.validate`):
+        #: validates every classify() against Algorithm 1's machine.
+        self.checker = None
 
     def start_sweep(self) -> None:
         """Begin the periodic τ failure sweep (idempotent)."""
@@ -187,6 +190,8 @@ class HermesLeafState:
         """Overlay a failure on a path for ``hold_ns`` (default from params)."""
         hold = hold_ns if hold_ns is not None else self.params.failure_hold_ns
         state = self.state(dst_leaf, path)
+        if self.checker is not None:
+            self.checker.on_mark_failed(state, hold)
         state.failed_until = self.sim.now + hold
         self.failed_detections += 1
 
@@ -199,8 +204,12 @@ class HermesLeafState:
         now = self.sim.now
         state = self.state(dst_leaf, path)
         if state.is_failed(now):
-            return PATH_FAILED
-        return self._congestion_class(state)
+            result = PATH_FAILED
+        else:
+            result = self._congestion_class(state)
+        if self.checker is not None:
+            self.checker.on_path_class(self, dst_leaf, path, result, state)
+        return result
 
     def _congestion_class(self, state: PathState) -> int:
         params = self.params
@@ -239,6 +248,8 @@ class HermesLeafState:
                     fraction > params.retx_fraction_threshold
                     and self._congestion_class(state) != PATH_CONGESTED
                 ):
+                    if self.checker is not None:
+                        self.checker.on_mark_failed(state, params.failure_hold_ns)
                     state.failed_until = self.sim.now + params.failure_hold_ns
                     self.failed_detections += 1
             state.sent_pkts = 0

@@ -75,6 +75,12 @@ class ExperimentConfig:
             before unfinished flows are declared (blackholed ECMP flows
             never finish — the paper's Fig. 17b).
         visibility_sampling: enable the Table 2 sampler.
+        validate: run under the full :mod:`repro.validate` invariant
+            layer (byte conservation, FIFO/capacity legality, monotone
+            clock, ECN-mark legality, Algorithm 1 path states).  Off by
+            default — an unvalidated run pays nothing.  The
+            ``REPRO_VALIDATE=1`` environment switch forces it on (and
+            bypasses the result cache) without touching configs.
     """
 
     topology: TopologyConfig
@@ -94,6 +100,7 @@ class ExperimentConfig:
     failure: Optional[FailureSpec] = None
     extra_drain_ns: int = seconds(2.0)
     visibility_sampling: bool = False
+    validate: bool = False
 
     def __post_init__(self) -> None:
         if self.transport not in TRANSPORTS:

@@ -39,7 +39,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.runner import ExperimentResult, run_experiment, validate_forced
 from repro.metrics.fct import FctStats
 
 #: Bump when the cache entry layout changes (not when simulation code
@@ -288,6 +288,10 @@ def run_cells(
     jobs = resolve_jobs(jobs)
     if use_cache is None:
         use_cache = cache_enabled()
+    if validate_forced():
+        # A cached summary was produced without the invariant layer;
+        # serving it would silently skip the validation the user forced.
+        use_cache = False
     cache = ResultCache(cache_dir) if use_cache else None
 
     results: List[Optional[ResultSummary]] = [None] * len(configs)

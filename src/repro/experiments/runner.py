@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -47,6 +48,12 @@ class ExperimentResult:
         return self.stats.mean_ms(penalize_unfinished_ns=self.sim_time_ns)
 
 
+def validate_forced() -> bool:
+    """True when ``REPRO_VALIDATE`` forces the invariant layer on for
+    every run, regardless of each config's ``validate`` flag."""
+    return os.environ.get("REPRO_VALIDATE", "").lower() in ("1", "on", "true", "yes")
+
+
 def _install_failure(fabric: Fabric, spec: FailureSpec, rng: RngStreams) -> None:
     if spec.kind == "random_drop":
         failure = RandomDropFailure(spec.drop_rate, rng.get("failure"))
@@ -70,6 +77,13 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     sim = Simulator()
     rng = RngStreams(config.seed)
     fabric = Fabric(sim, config.topology, rng)
+    checker = None
+    if config.validate or validate_forced():
+        # Imported lazily: the validate package is pure overhead for the
+        # (default) unvalidated path and must never burden it.
+        from repro.validate import install_checker
+
+        checker = install_checker(fabric, config=config)
     lb_params = dict(config.lb_params)
     if config.lb == "hermes" and "params" not in lb_params:
         # Flow sizes are scaled down for CPython speed, so the S gate
@@ -91,6 +105,10 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     if config.lb == "conga" and config.time_scale != 1.0 and "aging_ns" not in lb_params:
         lb_params["aging_ns"] = max(1, int(10_000_000 * config.time_scale))
     shared = install_lb(fabric, config.lb, **lb_params)
+    if checker is not None:
+        from repro.validate import watch_leaf_states
+
+        watch_leaf_states(checker, shared)
     if config.failure is not None:
         _install_failure(fabric, config.failure, rng)
 
@@ -148,6 +166,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     sim.run(until=deadline)
     if sampler is not None:
         sampler.stop()
+    if checker is not None:
+        shared["invariants"] = checker.finalize()
 
     records = [
         FlowRecord(

@@ -117,5 +117,12 @@ def make_lb(fabric: Fabric, name: str, host_id: int, **params: Any) -> LoadBalan
     """Build a single agent (convenience for unit tests)."""
     install_lb(fabric, name, **params)
     agent = fabric.hosts[host_id].lb
-    assert agent is not None
+    if agent is None:
+        # Typed instead of a bare assert: survives python -O and names
+        # the actual wiring failure.
+        from repro.validate.errors import InstallError
+
+        raise InstallError(
+            f"installer for {name!r} left host {host_id} without an agent"
+        )
     return agent

@@ -43,6 +43,8 @@ class Fabric:
         self.flows: Dict[int, "FlowBase"] = {}
         self._next_flow_id = 0
         self.on_flow_done: Optional[Callable[["FlowBase"], None]] = None
+        #: Optional invariant checker (see :mod:`repro.validate`).
+        self.checker = None
 
     @property
     def config(self) -> TopologyConfig:
@@ -75,6 +77,8 @@ class Fabric:
         """Inject a packet at its source host over ``packet.path_id``."""
         packet.route = self.topology.route(packet.src, packet.dst, packet.path_id)
         packet.hop = 0
+        if self.checker is not None:
+            self.checker.on_send(packet)
         return packet.route[0].enqueue(packet)
 
     def forward(self, packet: Packet) -> None:
@@ -83,4 +87,6 @@ class Fabric:
         if packet.hop < len(packet.route):
             packet.route[packet.hop].enqueue(packet)
         else:
+            if self.checker is not None:
+                self.checker.on_deliver(packet)
             self.hosts[packet.dst].receive(packet)

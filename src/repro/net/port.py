@@ -70,6 +70,7 @@ class OutputPort:
         "_dre_value",
         "_dre_last",
         "data_bytes_enqueued",
+        "checker",
     )
 
     def __init__(
@@ -114,6 +115,9 @@ class OutputPort:
         self.dre_tau_ns = dre_tau_ns
         self._dre_value = 0.0
         self._dre_last = 0
+        #: Optional invariant checker (see :mod:`repro.validate`); one
+        #: ``is not None`` branch per enqueue/dequeue when disabled.
+        self.checker = None
 
     # ------------------------------------------------------------------ #
     # Enqueue / transmit
@@ -145,11 +149,15 @@ class OutputPort:
             for predicate in self.drop_predicates:
                 if predicate(packet, now):
                     self.drops_injected += 1
+                    if self.checker is not None:
+                        self.checker.on_injected_drop(self, packet)
                     return False
         size = packet.size
         backlog = self.backlog_bytes + size
         if backlog > self.buffer_bytes:
             self.drops_overflow += 1
+            if self.checker is not None:
+                self.checker.on_overflow_drop(self, packet)
             return False
         if (
             self.ecn_threshold_bytes > 0
@@ -164,6 +172,8 @@ class OutputPort:
         if kind == PacketKind.DATA or kind == PacketKind.UDP:
             self.data_bytes_enqueued += size
         self._queues[packet.priority].append(packet)
+        if self.checker is not None:
+            self.checker.on_enqueued(self, packet, backlog - size)
         if not self.busy:
             self._start_next()
         return True
@@ -192,6 +202,8 @@ class OutputPort:
             metric = self.dre_quantized()
             if metric > packet.conga_metric:
                 packet.conga_metric = metric
+        if self.checker is not None:
+            self.checker.on_tx_done(self, packet)
         if self.forward is not None:
             self._schedule(self.prop_delay_ns, self.forward, packet)
         self._start_next()

@@ -87,6 +87,10 @@ class Simulator:
         self._events_fired: int = 0
         self._running = False
         self._stop_requested = False
+        #: Optional invariant checker (see :mod:`repro.validate`).  When
+        #: ``None`` — the default — the event loop pays one predictable
+        #: branch per event and nothing else.
+        self.checker = None
 
     def schedule(self, delay_ns: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay_ns`` nanoseconds from now."""
@@ -163,6 +167,7 @@ class Simulator:
         pop = heappop
         horizon = _NEVER if until is None else until
         limit = _NEVER if max_events is None else max_events
+        checker = self.checker
         fired = 0
         self._stop_requested = False
         self._running = True
@@ -175,6 +180,8 @@ class Simulator:
                 if event.time > horizon or fired >= limit:
                     break
                 pop(queue)
+                if checker is not None:
+                    checker.on_advance(event.time, self.now)
                 self.now = event.time
                 fired += 1
                 event.fn(*event.args)

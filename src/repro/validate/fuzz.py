@@ -1,0 +1,297 @@
+"""Seeded chaos harness: randomized scenarios under full invariant checking.
+
+One integer seed deterministically expands into a complete scenario —
+topology shape, link degradations and cuts, load-balancing scheme,
+transport, workload, offered load, flow count, and an optional switch
+malfunction — which then runs with every :mod:`repro.validate` invariant
+enabled.  The hand-written test suite covers the states we thought of;
+the chaos harness walks the randomized corners (asymmetry + failure +
+scheme interactions) where load-balancer bugs actually live.
+
+Replay is one paste: every case prints/raises with
+``python -m repro chaos --seed N`` (CLI) or
+``REPRO_CHAOS_SEED=N pytest tests/chaos/test_chaos.py -q -k replay``
+(pytest), both of which re-enter the exact same run.
+
+:func:`shrink_case` greedily minimizes a failing configuration — drop
+the failure injection, shrink the flow count, collapse the topology,
+simplify scheme/transport — re-running each candidate and keeping it
+only while the violation persists, so the config that lands in a bug
+report is the smallest one that still breaks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Iterator, List, Optional
+
+from repro.experiments.config import ExperimentConfig, FailureSpec
+from repro.experiments.runner import run_experiment
+from repro.net.topology import TopologyConfig
+from repro.validate.errors import InvariantViolation
+
+#: Every registered scheme is fair game (keep in sync with
+#: ``repro.lb.LB_REGISTRY``; imported lazily there to avoid a cycle).
+CHAOS_SCHEMES = (
+    "ecmp",
+    "presto",
+    "drb",
+    "letflow",
+    "clove-ecn",
+    "drill",
+    "flowbender",
+    "conga",
+    "hermes",
+)
+
+#: Scenario envelope: small enough that one case runs in well under a
+#: second on CPython, varied enough to reach asymmetric/failure corners.
+_SIZE_SCALE = 0.03
+
+#: Drain cap (simulated ns past the last arrival).  The default 2 s is
+#: sized for full experiments; under chaos a blackholed flow that can
+#: never finish would drag Hermes' 0.03x-scaled timers (15 µs probe
+#: rounds) through millions of pointless events.  50 ms still covers
+#: ~150 RTOs and thousands of probe/sweep rounds — plenty of runway for
+#: every invariant to be exercised — while keeping each case sub-second.
+_EXTRA_DRAIN_NS = 50_000_000
+
+
+def chaos_command(seed: int) -> str:
+    """The exact CLI invocation replaying one chaos case."""
+    return (
+        f"python -m repro chaos --seed {seed}  "
+        f"(or: REPRO_CHAOS_SEED={seed} pytest tests/chaos/test_chaos.py "
+        f"-q -k replay)"
+    )
+
+
+def chaos_config(seed: int) -> ExperimentConfig:
+    """Deterministically expand ``seed`` into one randomized scenario."""
+    rng = random.Random(f"repro-chaos-{seed}")
+    n_leaves = rng.randint(2, 3)
+    n_spines = rng.randint(2, 3)
+    hosts_per_leaf = rng.randint(2, 3)
+
+    overrides = {}
+    roll = rng.random()
+    if roll < 0.25:
+        # Degrade one leaf-spine link (the paper's §5.3.2 asymmetry).
+        overrides[(rng.randrange(n_leaves), rng.randrange(n_spines))] = (
+            rng.choice((2.0, 5.0))
+        )
+    elif roll < 0.40:
+        # Cut one link outright; n_spines >= 2 keeps every pair routable.
+        overrides[(rng.randrange(n_leaves), rng.randrange(n_spines))] = 0.0
+
+    topology = TopologyConfig(
+        n_leaves=n_leaves,
+        n_spines=n_spines,
+        hosts_per_leaf=hosts_per_leaf,
+        host_link_gbps=10.0,
+        spine_link_gbps=10.0,
+        link_overrides=overrides,
+        prop_delay_ns=1_000,
+        buffer_bytes=750_000,
+        ecn_threshold_bytes=97_500,
+    )
+
+    lb = rng.choice(CHAOS_SCHEMES)
+    failure: Optional[FailureSpec] = None
+    if rng.random() < 0.35:
+        if rng.random() < 0.5:
+            failure = FailureSpec(
+                kind="random_drop",
+                spine=rng.randrange(n_spines),
+                drop_rate=rng.choice((0.02, 0.05)),
+            )
+        else:
+            failure = FailureSpec(
+                kind="blackhole",
+                spine=rng.randrange(n_spines),
+                src_leaf=0,
+                dst_leaf=1,
+                pair_fraction=0.5,
+            )
+
+    return ExperimentConfig(
+        topology=topology,
+        lb=lb,
+        transport="tcp" if rng.random() < 0.25 else "dctcp",
+        workload=rng.choice(("web-search", "data-mining")),
+        load=round(rng.uniform(0.3, 0.8), 2),
+        n_flows=rng.randint(10, 40),
+        seed=seed,
+        size_scale=_SIZE_SCALE,
+        time_scale=_SIZE_SCALE,
+        reorder_mask_us=100.0 if lb in ("presto", "drb") else None,
+        failure=failure,
+        extra_drain_ns=_EXTRA_DRAIN_NS,
+        validate=True,
+    )
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one chaos case."""
+
+    seed: int
+    config: ExperimentConfig
+    error: Optional[InvariantViolation]
+    invariants: Optional[dict]
+    events: int
+    mean_fct_ms: float
+    unfinished: int
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def run_case(
+    seed: int,
+    config: Optional[ExperimentConfig] = None,
+    raise_error: bool = True,
+) -> CaseResult:
+    """Run one chaos case under full invariant checking.
+
+    Args:
+        seed: the case seed (also the simulation's master seed).
+        config: pre-built config (defaults to ``chaos_config(seed)``).
+        raise_error: re-raise violations (default); ``False`` returns
+            them in the :class:`CaseResult` for sweep-style reporting.
+    """
+    if config is None:
+        config = chaos_config(seed)
+    try:
+        result = run_experiment(config)
+    except InvariantViolation as exc:
+        # Stamp the chaos replay command over the generic run command:
+        # the randomized topology is only reachable through the seed.
+        exc.fingerprint.command = chaos_command(seed)
+        amended = type(exc)(exc.detail, exc.fingerprint)
+        if raise_error:
+            raise amended from exc
+        return CaseResult(
+            seed=seed,
+            config=config,
+            error=amended,
+            invariants=None,
+            events=0,
+            mean_fct_ms=0.0,
+            unfinished=0,
+        )
+    return CaseResult(
+        seed=seed,
+        config=config,
+        error=None,
+        invariants=result.shared.get("invariants"),
+        events=result.events,
+        mean_fct_ms=result.mean_fct_ms,
+        unfinished=result.stats.unfinished_count,
+    )
+
+
+def run_sweep(seeds: Iterable[int], raise_error: bool = False) -> List[CaseResult]:
+    """Run a batch of chaos cases; violations are collected, not raised."""
+    return [run_case(seed, raise_error=raise_error) for seed in seeds]
+
+
+# --------------------------------------------------------------------- #
+# Shrinking
+# --------------------------------------------------------------------- #
+
+
+def _valid_overrides(overrides: dict, n_leaves: int, n_spines: int) -> dict:
+    return {
+        (leaf, spine): rate
+        for (leaf, spine), rate in overrides.items()
+        if leaf < n_leaves and spine < n_spines
+    }
+
+
+def _reductions(config: ExperimentConfig) -> Iterator[ExperimentConfig]:
+    """Candidate simplifications, most drastic first.  Each candidate is
+    a fresh config; the caller keeps it only if it still fails."""
+    topo = config.topology
+    if config.failure is not None:
+        yield replace(config, failure=None)
+    if config.n_flows > 2:
+        yield replace(config, n_flows=max(2, config.n_flows // 2))
+    if topo.link_overrides:
+        yield replace(config, topology=replace(topo, link_overrides={}))
+    for field_name, floor in (("n_leaves", 2), ("n_spines", 2), ("hosts_per_leaf", 2)):
+        value = getattr(topo, field_name)
+        if value > floor:
+            smaller = replace(topo, **{field_name: floor})
+            smaller = replace(
+                smaller,
+                link_overrides=_valid_overrides(
+                    smaller.link_overrides, smaller.n_leaves, smaller.n_spines
+                ),
+            )
+            yield replace(config, topology=smaller)
+    if config.lb != "ecmp":
+        yield replace(config, lb="ecmp", reorder_mask_us=None)
+    if config.transport != "dctcp":
+        yield replace(config, transport="dctcp")
+    if config.workload != "web-search":
+        yield replace(config, workload="web-search")
+
+
+def _default_probe(config: ExperimentConfig) -> Optional[InvariantViolation]:
+    try:
+        run_experiment(replace(config, validate=True))
+    except InvariantViolation as exc:
+        return exc
+    return None
+
+
+@dataclass
+class ShrinkResult:
+    """A minimized failing configuration and its violation."""
+
+    config: ExperimentConfig
+    error: InvariantViolation
+    attempts: int
+
+
+def shrink_case(
+    config: ExperimentConfig,
+    probe: Optional[
+        Callable[[ExperimentConfig], Optional[InvariantViolation]]
+    ] = None,
+    max_attempts: int = 40,
+) -> ShrinkResult:
+    """Greedily minimize a failing config while the violation persists.
+
+    Args:
+        config: a config known to violate an invariant under validation.
+        probe: runs a candidate and returns its violation (or ``None``
+            if it passes).  Defaults to a plain validated run; tests
+            inject probes that apply a mutation first.
+        max_attempts: cap on candidate runs (each is a full simulation).
+
+    Raises:
+        ValueError: if ``config`` does not fail under ``probe``.
+    """
+    probe = probe or _default_probe
+    error = probe(config)
+    if error is None:
+        raise ValueError("shrink_case needs a failing config to start from")
+    attempts = 1
+    current = config
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in _reductions(current):
+            if attempts >= max_attempts:
+                break
+            attempts += 1
+            candidate_error = probe(candidate)
+            if candidate_error is not None:
+                current, error = candidate, candidate_error
+                improved = True
+                break
+    return ShrinkResult(config=current, error=error, attempts=attempts)

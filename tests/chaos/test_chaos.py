@@ -1,0 +1,180 @@
+"""Seeded chaos harness: randomized scenarios under full invariant checking.
+
+Three layers:
+
+* a sweep of >= 50 deterministic seeds, every invariant enabled, all of
+  which must pass (the "simulator is self-consistent" contract);
+* mutation checks proving the invariants have teeth — an intentionally
+  injected accounting bug (a vanished packet, a leaked backlog byte)
+  must be *caught*, with a replayable fingerprint;
+* shrinking: a failing config minimizes to a smaller config that still
+  fails.
+
+Replay one case from a violation fingerprint with::
+
+    REPRO_CHAOS_SEED=<n> pytest tests/chaos/test_chaos.py -q -k replay
+"""
+
+import os
+
+import pytest
+
+from repro.net.fabric import Fabric
+from repro.net.port import OutputPort
+from repro.validate.errors import (
+    CapacityError,
+    ConservationError,
+    InvariantViolation,
+)
+from repro.validate.fuzz import chaos_config, run_case, shrink_case
+
+#: The CI sweep: >= 50 fixed seeds, each expanding into a randomized
+#: topology/scheme/workload/failure scenario.
+CHAOS_SEEDS = list(range(1, 57))
+
+
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+def test_chaos_case_holds_invariants(seed):
+    case = run_case(seed)  # raises InvariantViolation on any breach
+    assert case.ok
+    inv = case.invariants
+    assert inv is not None, "validated run must publish its invariant report"
+    assert inv["violations"] == 0
+    assert inv["packets_sent"] > 0
+    assert inv["events_checked"] == case.events
+    # Ledger identity, re-stated from the published counters.
+    assert (
+        inv["delivered_bytes"] + inv["dropped_bytes"] + inv["inflight_bytes"]
+        <= inv["injected_bytes"]
+    )
+
+
+def test_chaos_is_deterministic():
+    first = run_case(11)
+    second = run_case(11)
+    assert first.events == second.events
+    assert first.mean_fct_ms == second.mean_fct_ms
+    assert first.invariants == second.invariants
+
+
+def test_chaos_covers_failures_and_schemes():
+    configs = [chaos_config(seed) for seed in CHAOS_SEEDS]
+    schemes = {config.lb for config in configs}
+    assert len(schemes) >= 6, f"sweep only exercised {sorted(schemes)}"
+    assert any(config.failure is not None for config in configs)
+    assert any(config.topology.link_overrides for config in configs)
+    assert any(config.transport == "tcp" for config in configs)
+
+
+def test_replay_seed_from_environment():
+    """Entry point for fingerprint replay lines (see chaos_command)."""
+    raw = os.environ.get("REPRO_CHAOS_SEED")
+    if raw is None:
+        pytest.skip("set REPRO_CHAOS_SEED=<n> to replay one chaos case")
+    case = run_case(int(raw))
+    assert case.ok
+
+
+# --------------------------------------------------------------------- #
+# Mutation checks: injected bugs must be caught, with a usable
+# fingerprint.
+# --------------------------------------------------------------------- #
+
+
+class _vanishing_forward:
+    """Context manager: Fabric.forward silently drops the Nth delivery.
+
+    Patching the *class* before the fabric is built means the bound
+    method every port captures is already the broken one — exactly the
+    shape of a real accounting bug (a code path that forgets a packet).
+    """
+
+    def __init__(self, nth: int = 5):
+        self.nth = nth
+        self.vanished = 0
+
+    def __enter__(self):
+        original = Fabric.forward
+        state = self
+
+        def forward(self, packet):
+            packet.hop += 1
+            if packet.hop < len(packet.route):
+                packet.route[packet.hop].enqueue(packet)
+                return
+            if state.nth > 0:
+                state.nth -= 1
+                if state.nth == 0:
+                    state.vanished += 1  # packet silently evaporates
+                    return
+            if self.checker is not None:
+                self.checker.on_deliver(packet)
+            self.hosts[packet.dst].receive(packet)
+
+        self._original = original
+        Fabric.forward = forward
+        return self
+
+    def __exit__(self, *exc_info):
+        Fabric.forward = self._original
+        return False
+
+
+def test_mutation_vanished_packet_is_caught():
+    """An intentionally injected accounting bug: one packet is forwarded
+    into the void.  The conservation audit must notice the ledger no
+    longer balances and name the missing packet."""
+    with _vanishing_forward(nth=5) as mutation:
+        with pytest.raises(ConservationError) as excinfo:
+            run_case(1)
+    assert mutation.vanished == 1
+    message = str(excinfo.value)
+    assert "python -m repro chaos --seed 1" in message, (
+        "violation must carry the exact replay command"
+    )
+    assert excinfo.value.fingerprint.seed == 1
+
+
+def test_mutation_backlog_leak_is_caught():
+    """A port that mis-accounts its backlog (classic off-by-a-packet
+    drain bug) must trip the capacity/shadow-queue invariant."""
+    original = OutputPort._tx_done
+    leaked = {"count": 0}
+
+    def leaky(self, packet):
+        original(self, packet)
+        if leaked["count"] == 0 and packet.size > 0:
+            leaked["count"] += 1
+            self.backlog_bytes += packet.size  # phantom bytes appear
+    OutputPort._tx_done = leaky
+    try:
+        with pytest.raises(CapacityError):
+            run_case(1)
+    finally:
+        OutputPort._tx_done = original
+    assert leaked["count"] == 1
+
+
+def test_mutation_violation_shrinks_to_minimal_config():
+    """Under a mutation that always fires, shrinking walks the failing
+    config down to the smallest scenario that still reproduces it."""
+    from dataclasses import replace
+
+    from repro.experiments.runner import run_experiment
+
+    def probe(config):
+        with _vanishing_forward(nth=3):
+            try:
+                run_experiment(replace(config, validate=True))
+            except InvariantViolation as exc:
+                return exc
+        return None
+
+    start = chaos_config(3)  # blackhole failure + drill, 3-leaf topology
+    assert start.failure is not None
+    shrunk = shrink_case(start, probe=probe, max_attempts=12)
+    assert isinstance(shrunk.error, ConservationError)
+    assert shrunk.config.failure is None, "failure injection shrunk away"
+    assert shrunk.config.n_flows < start.n_flows
+    # The shrunken config must still fail on its own.
+    assert probe(shrunk.config) is not None

@@ -1,0 +1,68 @@
+"""Golden regression: the reference grid's statistics are pinned.
+
+The simulator is deterministic, so the 8-cell reference grid (4 schemes
+x 2 loads) must reproduce the committed ``tests/golden/
+reference_grid.json`` exactly.  Any event-ordering, accounting, or
+timer change — intentional or not — lands here first.
+
+After an *intentional* behaviour change, refresh with::
+
+    PYTHONPATH=src python -m repro golden --refresh
+"""
+
+import os
+
+from repro.validate import golden as golden_mod
+from repro.validate.golden import (
+    compare_reference,
+    compute_reference,
+    golden_configs,
+    load_reference,
+)
+
+REFERENCE_PATH = os.path.join(
+    os.path.dirname(__file__), "golden", "reference_grid.json"
+)
+
+
+def test_reference_grid_is_committed():
+    assert load_reference(REFERENCE_PATH) is not None, (
+        "missing golden reference; generate it with "
+        "PYTHONPATH=src python -m repro golden --refresh"
+    )
+
+
+def test_grid_configs_cover_schemes_and_loads():
+    configs = golden_configs()
+    assert len(configs) == len(golden_mod.GOLDEN_SCHEMES) * len(
+        golden_mod.GOLDEN_LOADS
+    )
+    assert {config.lb for config in configs} == set(golden_mod.GOLDEN_SCHEMES)
+    assert {config.load for config in configs} == set(golden_mod.GOLDEN_LOADS)
+
+
+def test_reference_grid_matches_committed():
+    expected = load_reference(REFERENCE_PATH)
+    assert expected is not None
+    actual = compute_reference()
+    mismatches = compare_reference(expected, actual)
+    assert not mismatches, (
+        "golden grid drifted (refresh with 'python -m repro golden "
+        "--refresh' if intentional):\n  " + "\n  ".join(mismatches)
+    )
+
+
+def test_compare_reference_reports_drift():
+    expected = load_reference(REFERENCE_PATH)
+    assert expected is not None
+    tampered = {
+        "cells": {
+            cell: dict(values) for cell, values in expected["cells"].items()
+        }
+    }
+    victim = sorted(tampered["cells"])[0]
+    tampered["cells"][victim]["avg_fct_ms"] += 0.5
+    del tampered["cells"][sorted(tampered["cells"])[-1]]
+    mismatches = compare_reference(expected, tampered)
+    assert any("avg_fct_ms" in line for line in mismatches)
+    assert any("missing from computed grid" in line for line in mismatches)

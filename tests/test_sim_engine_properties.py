@@ -1,0 +1,167 @@
+"""Engine property tests: ordering, cancellation, stop(), heap stress.
+
+``tests/test_sim_engine.py`` pins the engine's documented behaviours one
+example at a time; this file attacks the same contract with adversarial
+interleavings — hypothesis-generated schedules and a fixed-seed 10k-op
+random walk checked against a brain-dead reference model (a sorted
+list).  Any heap corruption, FIFO tie-break slip, or cancel/stop edge
+case shows up as a divergence from the model.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+
+
+# --------------------------------------------------------------------- #
+# Same-instant FIFO
+# --------------------------------------------------------------------- #
+
+
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=5),  # few distinct times: max ties
+        min_size=1,
+        max_size=80,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_same_instant_events_fire_in_scheduling_order(delays):
+    sim = Simulator()
+    fired = []
+    for label, delay in enumerate(delays):
+        sim.schedule(delay, fired.append, (delay, label))
+    sim.run()
+    # Stable sort by time == time-order with FIFO tie-break by schedule
+    # order, which is exactly the engine's contract.
+    assert fired == sorted(fired, key=lambda item: item[0])
+
+
+def test_same_instant_callback_can_cancel_its_successor():
+    """An event may cancel a *later-scheduled* event at the same instant
+    and the victim must not fire — the transport layer relies on this
+    (ACK processing cancels the retransmit timer set in the same ns)."""
+    sim = Simulator()
+    fired = []
+    victim = None
+
+    def assassin():
+        fired.append("assassin")
+        sim.cancel(victim)
+
+    sim.schedule(10, assassin)
+    victim = sim.schedule(10, fired.append, "victim")
+    sim.schedule(10, fired.append, "bystander")
+    sim.run()
+    assert fired == ["assassin", "bystander"]
+
+
+def test_cancel_then_fire_same_event_object_is_inert():
+    """A cancelled event stays dead even if cancel() raced with its pop:
+    double-cancel, cancel-after-fire, and firing order are all safe."""
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(5, fired.append, "once")
+    sim.run()
+    assert fired == ["once"]
+    event.cancel()  # cancel after it already fired: no-op
+    sim.cancel(event)
+    sim.run()
+    assert fired == ["once"]
+
+
+# --------------------------------------------------------------------- #
+# stop() mid-callback
+# --------------------------------------------------------------------- #
+
+
+def test_stop_mid_callback_preserves_remaining_events():
+    """stop() ends the run *after* the current callback; everything
+    still queued must survive untouched and fire on the next run()."""
+    sim = Simulator()
+    fired = []
+
+    def stopper():
+        fired.append("stopper")
+        sim.stop()
+        sim.schedule(1, fired.append, "scheduled-after-stop")
+
+    sim.schedule(10, stopper)
+    sim.schedule(10, fired.append, "same-instant-survivor")
+    sim.schedule(20, fired.append, "later-survivor")
+    count = sim.run()
+    assert count == 1
+    assert fired == ["stopper"]
+    assert sim.now == 10
+    assert sim.pending == 3
+
+    # The same queue resumes exactly where it left off.
+    sim.run()
+    assert fired == [
+        "stopper",
+        "same-instant-survivor",
+        "scheduled-after-stop",
+        "later-survivor",
+    ]
+
+
+def test_stop_mid_callback_beats_until_clock_advance():
+    sim = Simulator()
+    sim.schedule(10, sim.stop)
+    sim.run(until=1_000)
+    assert sim.now == 10, "stop() must pin the clock at the stopping event"
+
+
+# --------------------------------------------------------------------- #
+# Heap integrity under random schedule/cancel interleavings
+# --------------------------------------------------------------------- #
+
+
+def _run_against_model(seed, n_ops):
+    """Drive the engine with a random schedule/cancel/run interleaving
+    and predict every firing with a reference model (sorted list of
+    (time, seq) entries, cancelled entries removed)."""
+    rng = random.Random(seed)
+    sim = Simulator()
+    fired = []
+    live = []  # model: list of (time, seq, event, label)
+    for op in range(n_ops):
+        roll = rng.random()
+        if roll < 0.55 or not live:
+            delay = rng.randrange(0, 1_000)
+            label = op
+            event = sim.schedule(delay, fired.append, label)
+            live.append((sim.now + delay, event.seq, event, label))
+        elif roll < 0.80:
+            victim = rng.choice(live)
+            sim.cancel(victim[2])
+            live.remove(victim)
+        else:
+            # Partial run: consume a random slice of the queue.
+            budget = rng.randrange(1, 8)
+            expected = sorted(live)[:budget]
+            before = len(fired)
+            sim.run(max_events=budget)
+            assert fired[before:] == [entry[3] for entry in expected]
+            for entry in expected:
+                live.remove(entry)
+    expected = sorted(live)
+    before = len(fired)
+    sim.run()
+    assert fired[before:] == [entry[3] for entry in expected]
+    assert sim.pending == 0 or all(
+        event.cancelled for event in sim._queue
+    )
+
+
+def test_heap_survives_10k_random_schedule_cancel_interleavings():
+    _run_against_model(seed=2024, n_ops=10_000)
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_heap_matches_model_on_short_random_walks(seed):
+    _run_against_model(seed=seed, n_ops=120)
