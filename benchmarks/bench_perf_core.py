@@ -8,7 +8,11 @@ measurements over one (scheme x load x seed) grid:
 2. **parallel cold** — the same grid through
    :func:`repro.experiments.parallel.run_cells` with ``--jobs`` workers
    and an empty cache;
-3. **warm** — the same call again, now served entirely from the cache.
+3. **warm** — the same call again, now served entirely from the cache;
+4. **traced** — the serial grid re-run with ``trace=True``
+   (:mod:`repro.telemetry` fully attached), to record what observability
+   costs when it is ON — and, by comparing phase 1 against the seed,
+   that the dormant hooks cost nothing when it is OFF.
 
 It also asserts that the parallel run's per-flow records are
 bit-identical to the serial run's — the determinism contract, checked on
@@ -25,6 +29,7 @@ Run directly (CI uses ``--smoke --jobs 2``)::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import sys
@@ -123,6 +128,19 @@ def measure(
             "cache returned different records"
         )
 
+    # Phase 4: the same serial grid with full telemetry attached.  The
+    # traced run must reproduce the untraced records exactly (tracing is
+    # pure observation); the wall-clock ratio is the cost of having it ON.
+    traced_events = 0
+    traced_start = time.perf_counter()
+    for config, untraced in zip(configs, serial_results):
+        traced = run_experiment(dataclasses.replace(config, trace=True))
+        traced_events += traced.events
+        assert traced.stats.records == untraced.stats.records, (
+            "traced run diverged from untraced run"
+        )
+    traced_wall = time.perf_counter() - traced_start
+
     return {
         "code_version": code_version(),
         "grid_cells": len(configs),
@@ -139,6 +157,9 @@ def measure(
         "parallel_speedup": round(serial_wall / cold_wall, 2),
         "warm_cache_wall_s": round(warm_wall, 3),
         "warm_cache_fraction_of_cold": round(warm_wall / cold_wall, 4),
+        "events_per_sec_traced": round(traced_events / traced_wall, 1),
+        "traced_wall_s": round(traced_wall, 3),
+        "tracing_overhead_x": round(traced_wall / serial_wall, 3),
     }
 
 

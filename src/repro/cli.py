@@ -237,6 +237,120 @@ def cmd_golden(args) -> int:
     return 0
 
 
+def cmd_trace_run(args) -> int:
+    """Run one cell with the telemetry layer on and write a trace dir."""
+    import dataclasses
+    import json
+    import os
+
+    from repro.experiments.runner import run_experiment
+    from repro.telemetry.export import write_jsonl, write_perfetto
+
+    config = dataclasses.replace(
+        _config_from_args(args, args.lb), trace=True
+    )
+    result = run_experiment(config)
+    telemetry = result.telemetry
+    os.makedirs(args.out, exist_ok=True)
+    n_events = write_jsonl(
+        os.path.join(args.out, "events.jsonl"), telemetry.tracer.iter_dicts()
+    )
+    n_audit = write_jsonl(
+        os.path.join(args.out, "audit.jsonl"), telemetry.audit.iter_dicts()
+    )
+    meta = {
+        "lb": config.lb,
+        "workload": config.workload,
+        "load": config.load,
+        "n_flows": config.n_flows,
+        "seed": config.seed,
+        "sim_time_ns": result.sim_time_ns,
+        "events_fired": result.events,
+    }
+    n_trace = write_perfetto(
+        os.path.join(args.out, "perfetto.json"),
+        telemetry.tracer.iter_dicts(),
+        telemetry.audit.iter_dicts(),
+        series=telemetry.counter_series(),
+        meta=meta,
+    )
+    with open(os.path.join(args.out, "summary.json"), "w") as fh:
+        json.dump(
+            {"run": meta, "telemetry": telemetry.summary()}, fh, indent=2
+        )
+        fh.write("\n")
+    print(format_table(RESULT_HEADERS, [_result_row(args.lb, result)]))
+    print(
+        f"\ntrace dir: {args.out}\n"
+        f"  events.jsonl   {n_events} records\n"
+        f"  audit.jsonl    {n_audit} records\n"
+        f"  perfetto.json  {n_trace} trace events "
+        "(load at https://ui.perfetto.dev)\n"
+        f"  summary.json"
+    )
+    if args.flow is not None:
+        print(f"\ndecision history for flow {args.flow}:")
+        for line in telemetry.audit.explain_flow(args.flow):
+            print(f"  {line}")
+    return 0
+
+
+def cmd_trace_summarize(args) -> int:
+    """Aggregate a trace directory written by ``trace run``."""
+    import json
+    import os
+
+    from repro.telemetry.export import (
+        explain_flow,
+        read_jsonl,
+        summarize_audit,
+        summarize_events,
+    )
+
+    events_path = os.path.join(args.dir, "events.jsonl")
+    audit_path = os.path.join(args.dir, "audit.jsonl")
+    if not os.path.exists(events_path):
+        print(f"no events.jsonl under {args.dir}", file=sys.stderr)
+        return 2
+    report = {"events": summarize_events(read_jsonl(events_path))}
+    if os.path.exists(audit_path):
+        report["audit"] = summarize_audit(read_jsonl(audit_path))
+    print(json.dumps(report, indent=2))
+    if args.flow is not None:
+        if not os.path.exists(audit_path):
+            print(f"no audit.jsonl under {args.dir}", file=sys.stderr)
+            return 2
+        print(f"\ndecision history for flow {args.flow}:")
+        for line in explain_flow(read_jsonl(audit_path), args.flow):
+            print(f"  {line}")
+    return 0
+
+
+def cmd_trace_export(args) -> int:
+    """Re-export a trace directory as Perfetto JSON or CSV."""
+    import os
+
+    from repro.telemetry.export import read_jsonl, write_csv, write_perfetto
+
+    events_path = os.path.join(args.dir, "events.jsonl")
+    audit_path = os.path.join(args.dir, "audit.jsonl")
+    if not os.path.exists(events_path):
+        print(f"no events.jsonl under {args.dir}", file=sys.stderr)
+        return 2
+    if args.format == "perfetto":
+        out = args.out or os.path.join(args.dir, "perfetto.json")
+        audit = (
+            read_jsonl(audit_path) if os.path.exists(audit_path) else ()
+        )
+        count = write_perfetto(out, read_jsonl(events_path), audit)
+        print(f"{out}: {count} trace events")
+    else:
+        out = args.out or os.path.join(args.dir, "events.csv")
+        count = write_csv(out, read_jsonl(events_path))
+        print(f"{out}: {count} rows")
+    return 0
+
+
 def cmd_probe_model(args) -> int:
     model = probe_overhead_model(
         n_leaves=args.leaves,
@@ -313,6 +427,41 @@ def build_parser() -> argparse.ArgumentParser:
                                help="reference JSON location (default: "
                                     "tests/golden/reference_grid.json)")
     golden_parser.set_defaults(fn=cmd_golden)
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="run with the telemetry layer and inspect/export the trace",
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+
+    trace_run = trace_sub.add_parser(
+        "run", help="run one cell with tracing on, write a trace directory"
+    )
+    trace_run.add_argument("--lb", default="hermes")
+    _add_run_arguments(trace_run)
+    trace_run.add_argument("--out", default="trace-out",
+                           help="trace directory (created if missing)")
+    trace_run.add_argument("--flow", type=int, default=None,
+                           help="also print this flow's decision history")
+    trace_run.set_defaults(fn=cmd_trace_run)
+
+    trace_summarize = trace_sub.add_parser(
+        "summarize", help="aggregate an existing trace directory"
+    )
+    trace_summarize.add_argument("--dir", default="trace-out")
+    trace_summarize.add_argument("--flow", type=int, default=None,
+                                 help="print this flow's decision history")
+    trace_summarize.set_defaults(fn=cmd_trace_summarize)
+
+    trace_export = trace_sub.add_parser(
+        "export", help="re-export a trace directory (perfetto or csv)"
+    )
+    trace_export.add_argument("--dir", default="trace-out")
+    trace_export.add_argument("--format", choices=["perfetto", "csv"],
+                              default="perfetto")
+    trace_export.add_argument("--out", default=None,
+                              help="output file (default: inside --dir)")
+    trace_export.set_defaults(fn=cmd_trace_export)
 
     return parser
 

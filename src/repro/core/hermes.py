@@ -69,6 +69,11 @@ class HermesLB(LoadBalancer):
         }
         self.failed_pairs: Set[Tuple[int, int]] = set()
         self.blackhole_detections = 0
+        #: Optional decision audit (see :mod:`repro.telemetry.audit`):
+        #: records every branch of Algorithm 2 with its reason code and
+        #: the gate/threshold values that fired.  ``None`` (default)
+        #: costs one branch per select_path.
+        self.audit = None
         leaf_state.start_sweep()
 
     # ------------------------------------------------------------------ #
@@ -82,6 +87,7 @@ class HermesLB(LoadBalancer):
         current = flow.current_path if flow.current_path >= 0 else None
         excluded = {p for p in paths if (flow.dst, p) in self.failed_pairs}
 
+        audit = self.audit
         needs_placement = (
             current is None
             or flow.if_timeout
@@ -91,15 +97,26 @@ class HermesLB(LoadBalancer):
         if needs_placement:
             if current is None:
                 self.decisions["new_placements"] += 1
+                reason = "new-flow"
             elif flow.if_timeout:
                 self.decisions["timeout_reroutes"] += 1
+                reason = "timeout"
             else:
                 self.decisions["failure_evacuations"] += 1
+                reason = "failed-path"
             path = self.policy.initial_path(dst_leaf, paths, excluded)
             flow.if_timeout = False
             if current is not None and path != current:
                 self.reroutes += 1
                 self._reset_record(flow)
+            if audit is not None:
+                detail = {}
+                if reason == "failed-path":
+                    detail["blackholed_pair"] = current in excluded
+                audit.on_decision(
+                    flow.flow_id, self.host.leaf, dst_leaf, reason,
+                    -1 if current is None else current, path, detail,
+                )
         elif (
             self.params.timely_rerouting
             and state.classify(dst_leaf, current) == PATH_CONGESTED
@@ -107,6 +124,11 @@ class HermesLB(LoadBalancer):
             if not self._gates_allow(flow):
                 self.decisions["gated_stays"] += 1
                 path = current
+                if audit is not None:
+                    audit.on_decision(
+                        flow.flow_id, self.host.leaf, dst_leaf, "gated-stay",
+                        current, current, self._gate_detail(flow),
+                    )
             else:
                 candidate = self.policy.reroute_from_congested(
                     dst_leaf,
@@ -120,14 +142,65 @@ class HermesLB(LoadBalancer):
                     path = candidate
                     self.reroutes += 1
                     self._reset_record(flow)
+                    if audit is not None:
+                        audit.on_decision(
+                            flow.flow_id, self.host.leaf, dst_leaf,
+                            "congested-moved", current, path,
+                            self._margin_detail(dst_leaf, current, path, flow),
+                        )
                 else:
                     self.decisions["congestion_stays"] += 1
                     path = current
+                    if audit is not None:
+                        audit.on_decision(
+                            flow.flow_id, self.host.leaf, dst_leaf,
+                            "congested-stay", current, current,
+                            {
+                                "delta_rtt_ns": self.params.delta_rtt_ns,
+                                "delta_ecn": self.params.delta_ecn,
+                                "require_notably":
+                                    self.params.cautious_rerouting,
+                            },
+                        )
         else:
             path = current
 
         state.record_sent(dst_leaf, path, wire_bytes)
         return path
+
+    def _gate_detail(self, flow: "FlowBase") -> dict:
+        """Audit detail: which of the S/R caution gates blocked a reroute."""
+        size_threshold = self.params.size_threshold_bytes
+        rate_threshold = (
+            self.params.rate_threshold_fraction * self._host_link_bps
+        )
+        rate = flow.rate_bps()
+        return {
+            "bytes_sent": flow.bytes_sent,
+            "size_threshold_bytes": size_threshold,
+            "size_gate_ok": flow.bytes_sent > size_threshold,
+            "rate_bps": round(rate, 1),
+            "rate_threshold_bps": round(rate_threshold, 1),
+            "rate_gate_ok": rate < rate_threshold,
+        }
+
+    def _margin_detail(
+        self, dst_leaf: int, current: int, candidate: int, flow: "FlowBase"
+    ) -> dict:
+        """Audit detail for a congestion reroute: the sensed values and
+        the ∆_RTT/∆_ECN margins the candidate cleared."""
+        cur = self.leaf_state.state(dst_leaf, current)
+        cand = self.leaf_state.state(dst_leaf, candidate)
+        return {
+            "cur_rtt_ns": round(cur.rtt_ns, 1),
+            "cand_rtt_ns": round(cand.rtt_ns, 1),
+            "cur_f_ecn": round(cur.f_ecn, 4),
+            "cand_f_ecn": round(cand.f_ecn, 4),
+            "delta_rtt_ns": self.params.delta_rtt_ns,
+            "delta_ecn": self.params.delta_ecn,
+            "require_notably": self.params.cautious_rerouting,
+            "bytes_sent": flow.bytes_sent,
+        }
 
     def _gates_allow(self, flow: "FlowBase") -> bool:
         """The cautious-rerouting gates: size sent > S and rate < R."""

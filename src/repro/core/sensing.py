@@ -133,6 +133,9 @@ class HermesLeafState:
         #: Optional invariant checker (see :mod:`repro.validate`):
         #: validates every classify() against Algorithm 1's machine.
         self.checker = None
+        #: Optional decision audit (see :mod:`repro.telemetry.audit`):
+        #: records every path-state transition and failure overlay.
+        self.audit = None
 
     def start_sweep(self) -> None:
         """Begin the periodic τ failure sweep (idempotent)."""
@@ -192,6 +195,10 @@ class HermesLeafState:
         state = self.state(dst_leaf, path)
         if self.checker is not None:
             self.checker.on_mark_failed(state, hold)
+        if self.audit is not None:
+            self.audit.on_mark_failed(
+                self, dst_leaf, path, "explicit", {"hold_ns": hold}
+            )
         state.failed_until = self.sim.now + hold
         self.failed_detections += 1
 
@@ -209,6 +216,8 @@ class HermesLeafState:
             result = self._congestion_class(state)
         if self.checker is not None:
             self.checker.on_path_class(self, dst_leaf, path, result, state)
+        if self.audit is not None:
+            self.audit.on_path_class(self, dst_leaf, path, result, state)
         return result
 
     def _congestion_class(self, state: PathState) -> int:
@@ -241,7 +250,7 @@ class HermesLeafState:
 
     def _sweep(self) -> None:
         params = self.params
-        for state in self._table.values():
+        for (dst_leaf, path), state in self._table.items():
             if state.sent_pkts >= 10:  # need samples for a stable fraction
                 fraction = state.retx_pkts / state.sent_pkts
                 if (
@@ -250,6 +259,16 @@ class HermesLeafState:
                 ):
                     if self.checker is not None:
                         self.checker.on_mark_failed(state, params.failure_hold_ns)
+                    if self.audit is not None:
+                        self.audit.on_mark_failed(
+                            self, dst_leaf, path, "retx-sweep",
+                            {
+                                "retx_fraction": round(fraction, 4),
+                                "threshold": params.retx_fraction_threshold,
+                                "sent_pkts": state.sent_pkts,
+                                "retx_pkts": state.retx_pkts,
+                            },
+                        )
                     state.failed_until = self.sim.now + params.failure_hold_ns
                     self.failed_detections += 1
             state.sent_pkts = 0

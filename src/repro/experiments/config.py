@@ -81,6 +81,13 @@ class ExperimentConfig:
             default — an unvalidated run pays nothing.  The
             ``REPRO_VALIDATE=1`` environment switch forces it on (and
             bypasses the result cache) without touching configs.
+        trace: attach the :mod:`repro.telemetry` layer (structured event
+            tracer, decision audit, engine profiler) to the run; the
+            result's ``telemetry`` field then carries it.  Off by
+            default — an untraced run pays one ``is not None`` branch
+            per hook site.  ``REPRO_TRACE=1`` forces it on for every
+            run; traced runs always bypass the result cache (a cached
+            summary carries no telemetry).
     """
 
     topology: TopologyConfig
@@ -101,6 +108,7 @@ class ExperimentConfig:
     extra_drain_ns: int = seconds(2.0)
     visibility_sampling: bool = False
     validate: bool = False
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.transport not in TRANSPORTS:

@@ -39,7 +39,12 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import ExperimentResult, run_experiment, validate_forced
+from repro.experiments.runner import (
+    ExperimentResult,
+    run_experiment,
+    trace_forced,
+    validate_forced,
+)
 from repro.metrics.fct import FctStats
 
 #: Bump when the cache entry layout changes (not when simulation code
@@ -288,16 +293,21 @@ def run_cells(
     jobs = resolve_jobs(jobs)
     if use_cache is None:
         use_cache = cache_enabled()
-    if validate_forced():
-        # A cached summary was produced without the invariant layer;
-        # serving it would silently skip the validation the user forced.
+    if validate_forced() or trace_forced():
+        # A cached summary was produced without the invariant/telemetry
+        # layer; serving it would silently skip what the user forced on.
         use_cache = False
     cache = ResultCache(cache_dir) if use_cache else None
 
     results: List[Optional[ResultSummary]] = [None] * len(configs)
     misses: List[int] = []
     for i, config in enumerate(configs):
-        hit = cache.get(config) if cache is not None else None
+        # Traced cells never touch the cache: ``config.trace`` is part of
+        # the content address, but a stored ResultSummary carries no
+        # telemetry, so a hit would return stats without the trace the
+        # caller asked for.
+        cacheable = cache is not None and not config.trace
+        hit = cache.get(config) if cacheable else None
         if hit is not None:
             results[i] = hit
         else:
@@ -318,7 +328,8 @@ def run_cells(
                     results[i] = summary
         if cache is not None:
             for i in misses:
-                cache.put(configs[i], results[i])
+                if not configs[i].trace:
+                    cache.put(configs[i], results[i])
 
     return results  # type: ignore[return-value]
 

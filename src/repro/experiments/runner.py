@@ -37,6 +37,8 @@ class ExperimentResult:
     shared: Dict[str, Any] = field(default_factory=dict)
     visibility_switch_pair: Optional[float] = None
     visibility_host_pair: Optional[float] = None
+    #: The run's :class:`repro.telemetry.Telemetry` when tracing was on.
+    telemetry: Optional[Any] = None
 
     @property
     def mean_fct_ms(self) -> float:
@@ -52,6 +54,12 @@ def validate_forced() -> bool:
     """True when ``REPRO_VALIDATE`` forces the invariant layer on for
     every run, regardless of each config's ``validate`` flag."""
     return os.environ.get("REPRO_VALIDATE", "").lower() in ("1", "on", "true", "yes")
+
+
+def trace_forced() -> bool:
+    """True when ``REPRO_TRACE`` forces the telemetry layer on for every
+    run, regardless of each config's ``trace`` flag."""
+    return os.environ.get("REPRO_TRACE", "").lower() in ("1", "on", "true", "yes")
 
 
 def _install_failure(fabric: Fabric, spec: FailureSpec, rng: RngStreams) -> None:
@@ -84,6 +92,12 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         from repro.validate import install_checker
 
         checker = install_checker(fabric, config=config)
+    telemetry = None
+    if config.trace or trace_forced():
+        # Lazy import for the same reason as the validate layer.
+        from repro.telemetry import install_telemetry
+
+        telemetry = install_telemetry(fabric, config=config)
     lb_params = dict(config.lb_params)
     if config.lb == "hermes" and "params" not in lb_params:
         # Flow sizes are scaled down for CPython speed, so the S gate
@@ -109,6 +123,10 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         from repro.validate import watch_leaf_states
 
         watch_leaf_states(checker, shared)
+    if telemetry is not None:
+        from repro.telemetry import watch_lb
+
+        watch_lb(telemetry, fabric, shared)
     if config.failure is not None:
         _install_failure(fabric, config.failure, rng)
 
@@ -168,6 +186,9 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         sampler.stop()
     if checker is not None:
         shared["invariants"] = checker.finalize()
+    if telemetry is not None:
+        telemetry.stop_series()
+        shared["telemetry"] = telemetry.summary()
 
     records = [
         FlowRecord(
@@ -205,4 +226,5 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         visibility_host_pair=(
             sampler.host_pair_visibility() if sampler is not None else None
         ),
+        telemetry=telemetry,
     )

@@ -1,91 +1,14 @@
-"""Time-series collectors: queue occupancy and link utilization.
+"""Time-series collectors — compatibility re-exports.
 
-Used by the motivation microbenchmarks (queue oscillation in Figs. 2–4)
-and by sanity checks in tests.
+The samplers moved to :mod:`repro.telemetry.series`, where they share the
+cancellable-tick :class:`~repro.telemetry.series.PeriodicSampler` base
+(the old ``QueueSampler.stop()`` left its pending tick in the heap; the
+migrated one cancels it).  This module keeps the historical import path
+for the motivation microbenchmarks and examples.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from repro.telemetry.series import QueueSampler, UtilizationTracker
 
-from repro.net.port import OutputPort
-from repro.sim.engine import Simulator
-
-
-class QueueSampler:
-    """Samples the backlog of a set of ports at a fixed period."""
-
-    def __init__(
-        self,
-        sim: Simulator,
-        ports: Sequence[OutputPort],
-        period_ns: int = 100_000,
-    ) -> None:
-        if period_ns <= 0:
-            raise ValueError("sampling period must be positive")
-        self.sim = sim
-        self.ports = list(ports)
-        self.period_ns = period_ns
-        self.samples: Dict[str, List[Tuple[int, int]]] = {
-            port.name: [] for port in self.ports
-        }
-        self._running = False
-
-    def start(self) -> None:
-        if not self._running:
-            self._running = True
-            self.sim.schedule(self.period_ns, self._tick)
-
-    def stop(self) -> None:
-        self._running = False
-
-    def _tick(self) -> None:
-        if not self._running:
-            return
-        now = self.sim.now
-        for port in self.ports:
-            self.samples[port.name].append((now, port.backlog_bytes))
-        self.sim.schedule(self.period_ns, self._tick)
-
-    def max_backlog(self, port_name: str) -> int:
-        """Largest sampled backlog for one port."""
-        series = self.samples[port_name]
-        return max((b for _, b in series), default=0)
-
-    def mean_backlog(self, port_name: str) -> float:
-        series = self.samples[port_name]
-        if not series:
-            return 0.0
-        return sum(b for _, b in series) / len(series)
-
-    def stddev_backlog(self, port_name: str) -> float:
-        """Backlog standard deviation — the queue-oscillation measure."""
-        series = self.samples[port_name]
-        if len(series) < 2:
-            return 0.0
-        mean = self.mean_backlog(port_name)
-        var = sum((b - mean) ** 2 for _, b in series) / (len(series) - 1)
-        return var**0.5
-
-
-class UtilizationTracker:
-    """Average utilization of ports over a measurement window."""
-
-    def __init__(self, sim: Simulator, ports: Sequence[OutputPort]) -> None:
-        self.sim = sim
-        self.ports = list(ports)
-        self._start_ns = sim.now
-        self._bytes_at_start = {p.name: p.bytes_sent for p in self.ports}
-
-    def reset(self) -> None:
-        self._start_ns = self.sim.now
-        self._bytes_at_start = {p.name: p.bytes_sent for p in self.ports}
-
-    def utilization(self) -> Dict[str, float]:
-        """Per-port average utilization since the last reset."""
-        return {
-            p.name: p.utilization_since(
-                self._start_ns, self._bytes_at_start[p.name]
-            )
-            for p in self.ports
-        }
+__all__ = ["QueueSampler", "UtilizationTracker"]

@@ -13,28 +13,24 @@ averages follow from uniform random pair selection.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple, TYPE_CHECKING
+from typing import List, Set, TYPE_CHECKING
 
-from repro.sim.engine import Simulator
+from repro.telemetry.series import PeriodicSampler
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.fabric import Fabric
     from repro.transport.base import FlowBase
 
 
-class VisibilitySampler:
+class VisibilitySampler(PeriodicSampler):
     """Periodically samples concurrent-flow counts per switch/host pair."""
 
     def __init__(self, fabric: "Fabric", period_ns: int = 1_000_000) -> None:
-        if period_ns <= 0:
-            raise ValueError("sampling period must be positive")
+        super().__init__(fabric.sim, period_ns)
         self.fabric = fabric
-        self.sim: Simulator = fabric.sim
-        self.period_ns = period_ns
         self._active: Set[int] = set()
         self._samples_leaf_pair: List[float] = []
         self._samples_host_pair: List[float] = []
-        self._running = False
 
     # ------------------------- flow tracking -------------------------- #
 
@@ -49,17 +45,7 @@ class VisibilitySampler:
 
     # --------------------------- sampling ----------------------------- #
 
-    def start(self) -> None:
-        if not self._running:
-            self._running = True
-            self.sim.schedule(self.period_ns, self._tick)
-
-    def stop(self) -> None:
-        self._running = False
-
-    def _tick(self) -> None:
-        if not self._running:
-            return
+    def sample(self, now: int) -> None:
         cfg = self.fabric.config
         n_leaf_pairs = cfg.n_leaves * (cfg.n_leaves - 1)
         hosts_per_leaf = cfg.hosts_per_leaf
@@ -67,7 +53,6 @@ class VisibilitySampler:
         active = len(self._active)
         self._samples_leaf_pair.append(active / n_leaf_pairs)
         self._samples_host_pair.append(active / n_host_pairs)
-        self.sim.schedule(self.period_ns, self._tick)
 
     # ---------------------------- results ----------------------------- #
 

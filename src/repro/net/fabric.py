@@ -45,6 +45,11 @@ class Fabric:
         self.on_flow_done: Optional[Callable[["FlowBase"], None]] = None
         #: Optional invariant checker (see :mod:`repro.validate`).
         self.checker = None
+        #: Optional tracer (see :mod:`repro.telemetry`): receives packet
+        #: send/hop/deliver and flow start/finish callbacks.  This is the
+        #: single hook site both the structured tracer and the
+        #: :class:`~repro.net.trace.PacketTracer` shim attach to.
+        self.tracer = None
 
     @property
     def config(self) -> TopologyConfig:
@@ -63,9 +68,13 @@ class Fabric:
     def register_flow(self, flow: "FlowBase") -> None:
         """Make a flow reachable from both endpoints."""
         self.flows[flow.flow_id] = flow
+        if self.tracer is not None:
+            self.tracer.on_flow_start(flow)
 
     def flow_finished(self, flow: "FlowBase") -> None:
         """Called by a flow when it completes; fans out to the harness."""
+        if self.tracer is not None:
+            self.tracer.on_flow_finish(flow)
         if self.on_flow_done is not None:
             self.on_flow_done(flow)
 
@@ -79,10 +88,15 @@ class Fabric:
         packet.hop = 0
         if self.checker is not None:
             self.checker.on_send(packet)
-        return packet.route[0].enqueue(packet)
+        accepted = packet.route[0].enqueue(packet)
+        if self.tracer is not None:
+            self.tracer.on_send(packet)
+        return accepted
 
     def forward(self, packet: Packet) -> None:
         """Advance a packet one hop (port callback after propagation)."""
+        if self.tracer is not None:
+            self.tracer.on_forward(packet)
         packet.hop += 1
         if packet.hop < len(packet.route):
             packet.route[packet.hop].enqueue(packet)

@@ -70,7 +70,9 @@ class OutputPort:
         "_dre_value",
         "_dre_last",
         "data_bytes_enqueued",
+        "ecn_marks",
         "checker",
+        "tracer",
     )
 
     def __init__(
@@ -111,6 +113,7 @@ class OutputPort:
         self.drops_injected = 0
         self.max_backlog = 0
         self.data_bytes_enqueued = 0
+        self.ecn_marks = 0
         # DRE state.
         self.dre_tau_ns = dre_tau_ns
         self._dre_value = 0.0
@@ -118,6 +121,9 @@ class OutputPort:
         #: Optional invariant checker (see :mod:`repro.validate`); one
         #: ``is not None`` branch per enqueue/dequeue when disabled.
         self.checker = None
+        #: Optional tracer (see :mod:`repro.telemetry`): receives drop
+        #: callbacks; same nullable zero-cost pattern.
+        self.tracer = None
 
     # ------------------------------------------------------------------ #
     # Enqueue / transmit
@@ -151,6 +157,8 @@ class OutputPort:
                     self.drops_injected += 1
                     if self.checker is not None:
                         self.checker.on_injected_drop(self, packet)
+                    if self.tracer is not None:
+                        self.tracer.on_drop(self, packet, "injected")
                     return False
         size = packet.size
         backlog = self.backlog_bytes + size
@@ -158,6 +166,8 @@ class OutputPort:
             self.drops_overflow += 1
             if self.checker is not None:
                 self.checker.on_overflow_drop(self, packet)
+            if self.tracer is not None:
+                self.tracer.on_drop(self, packet, "overflow")
             return False
         if (
             self.ecn_threshold_bytes > 0
@@ -165,6 +175,7 @@ class OutputPort:
             and self.backlog_bytes >= self.ecn_threshold_bytes
         ):
             packet.ce = True
+            self.ecn_marks += 1
         self.backlog_bytes = backlog
         if backlog > self.max_backlog:
             self.max_backlog = backlog

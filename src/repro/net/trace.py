@@ -1,9 +1,17 @@
 """Packet tracing: a pcap-equivalent for the simulated fabric.
 
-Wraps a fabric's ``send``/``forward``/host-delivery path and records one
-event per packet movement, with an optional filter.  Used for debugging
-load-balancer decisions ("which spine did flow 17's packet 3 take?") and
-in tests that assert on path usage.
+Compatibility shim over :mod:`repro.telemetry`.  Historically this module
+monkey-patched ``Fabric.send`` / ``Fabric.forward`` (and every port's
+captured ``forward`` callback) to observe packet movements; the fabric now
+exposes a single nullable ``fabric.tracer`` hook — the same one
+:class:`repro.telemetry.tracer.EventTracer` uses — and this class is a
+thin adapter that installs itself there.  The public API (``TraceEvent``,
+``attach``/``detach``/context manager, ``predicate``, ``max_events``,
+``paths_used``, ``deliveries``) is unchanged.
+
+For new code prefer :class:`repro.telemetry.tracer.EventTracer`, which
+also records drops, flow lifecycle, timeouts and retransmissions, bounds
+memory with a ring buffer, and exports to Perfetto/JSONL/CSV.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from typing import Callable, List, Optional
 
 from repro.net.fabric import Fabric
 from repro.net.packet import Packet, PacketKind
+from repro.telemetry.tracer import TracerHooks
 
 
 @dataclass(frozen=True)
@@ -34,7 +43,7 @@ class TraceEvent:
         return PacketKind.NAMES.get(self.packet_kind, "?")
 
 
-class PacketTracer:
+class PacketTracer(TracerHooks):
     """Attach to a fabric and record packet movements.
 
     Args:
@@ -56,9 +65,6 @@ class PacketTracer:
         self.max_events = max_events
         self.events: List[TraceEvent] = []
         self.truncated = False
-        self._orig_send = fabric.send
-        self._orig_forward = fabric.forward
-        self._patched_ports: List = []
         self._attached = False
 
     # ------------------------------------------------------------------ #
@@ -68,36 +74,47 @@ class PacketTracer:
     def attach(self) -> "PacketTracer":
         """Start observing (idempotent).
 
-        Ports capture the fabric's forward callback at construction, so
-        both the fabric method *and* every port's ``forward`` attribute
-        are patched.
+        Raises:
+            RuntimeError: if another tracer already occupies the fabric's
+                hook (e.g. telemetry installed by ``--trace``).
         """
         if not self._attached:
+            if self.fabric.tracer is not None and self.fabric.tracer is not self:
+                raise RuntimeError(
+                    "fabric already has a tracer attached; "
+                    "detach it first or use repro.telemetry"
+                )
             self._attached = True
-            self.fabric.send = self._traced_send  # type: ignore[method-assign]
-            self.fabric.forward = self._traced_forward  # type: ignore[method-assign]
-            for port in self.fabric.topology.all_ports():
-                # Bound methods compare by ==, never by identity.
-                if port.forward == self._orig_forward:
-                    port.forward = self._traced_forward
-                    self._patched_ports.append(port)
+            self.fabric.tracer = self
         return self
 
     def detach(self) -> None:
-        """Stop observing and restore the fabric's methods."""
+        """Stop observing and release the fabric's tracer hook."""
         if self._attached:
             self._attached = False
-            self.fabric.send = self._orig_send  # type: ignore[method-assign]
-            self.fabric.forward = self._orig_forward  # type: ignore[method-assign]
-            for port in self._patched_ports:
-                port.forward = self._orig_forward
-            self._patched_ports.clear()
+            if self.fabric.tracer is self:
+                self.fabric.tracer = None
 
     def __enter__(self) -> "PacketTracer":
         return self.attach()
 
     def __exit__(self, *exc_info) -> None:
         self.detach()
+
+    # ------------------------------------------------------------------ #
+    # Hook callbacks (invoked by Fabric)
+    # ------------------------------------------------------------------ #
+
+    def on_send(self, packet: Packet) -> None:
+        port = packet.route[0].name if packet.route else None
+        self._record("send", packet, port)
+
+    def on_forward(self, packet: Packet) -> None:
+        # Called before the hop increment: hop+1 is the next port index.
+        if packet.hop + 1 < len(packet.route):
+            self._record("hop", packet, packet.route[packet.hop + 1].name)
+        else:
+            self._record("deliver", packet, None)
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -122,19 +139,6 @@ class PacketTracer:
                 port=port,
             )
         )
-
-    def _traced_send(self, packet: Packet) -> bool:
-        accepted = self._orig_send(packet)
-        port = packet.route[0].name if packet.route else None
-        self._record("send", packet, port)
-        return accepted
-
-    def _traced_forward(self, packet: Packet) -> None:
-        if packet.hop + 1 < len(packet.route):
-            self._record("hop", packet, packet.route[packet.hop + 1].name)
-        else:
-            self._record("deliver", packet, None)
-        self._orig_forward(packet)
 
     # ------------------------------------------------------------------ #
     # Queries

@@ -91,6 +91,10 @@ class Simulator:
         #: ``None`` — the default — the event loop pays one predictable
         #: branch per event and nothing else.
         self.checker = None
+        #: Optional event-loop profiler (see
+        #: :class:`repro.telemetry.series.LoopProfiler`); same nullable
+        #: pattern — one branch per event when off.
+        self.profiler = None
 
     def schedule(self, delay_ns: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay_ns`` nanoseconds from now."""
@@ -168,6 +172,7 @@ class Simulator:
         horizon = _NEVER if until is None else until
         limit = _NEVER if max_events is None else max_events
         checker = self.checker
+        profiler = self.profiler
         fired = 0
         self._stop_requested = False
         self._running = True
@@ -184,6 +189,8 @@ class Simulator:
                     checker.on_advance(event.time, self.now)
                 self.now = event.time
                 fired += 1
+                if profiler is not None:
+                    profiler.on_event(event)
                 event.fn(*event.args)
                 if self._stop_requested:
                     break

@@ -1,0 +1,288 @@
+"""Unified time-series samplers + event-loop profiler.
+
+All periodic samplers share :class:`PeriodicSampler`, which holds the
+engine's cancellable :class:`~repro.sim.engine.Event` for its next tick:
+``stop()`` cancels the pending tick outright (nothing lingers in the
+heap, so a drained queue really is drained), and ``start()`` after
+``stop()`` resumes with exactly one tick chain — the
+double-schedule/stale-tick bugs of the old ``metrics.collector``
+samplers cannot happen by construction.
+
+Samplers:
+
+* :class:`QueueSampler` — per-port backlog (migrated from
+  ``repro.metrics.collector``, same query API);
+* :class:`UtilizationSeries` — per-port utilization per interval;
+* :class:`EcnFractionSeries` — fraction of transmitted packets that were
+  CE-marked per interval (per port);
+* :class:`PathStateSeries` — Algorithm 1 occupancy: how many of a leaf's
+  sensed paths are good/gray/congested/failed at each instant;
+* :class:`LoopProfiler` — engine-side counters: events dispatched per
+  callback kind, heap size and wall-clock per slab of simulated time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.port import OutputPort
+    from repro.sim.engine import Event, Simulator
+
+
+class PeriodicSampler:
+    """Base class: sample something every ``period_ns`` of sim time.
+
+    The pending tick is a cancellable engine event; :meth:`stop` cancels
+    it so no dead callback stays in the heap, and restarting after a stop
+    schedules exactly one new tick chain.
+    """
+
+    def __init__(self, sim: "Simulator", period_ns: int) -> None:
+        if period_ns <= 0:
+            raise ValueError("sampling period must be positive")
+        self.sim = sim
+        self.period_ns = period_ns
+        self._tick_event: Optional["Event"] = None
+
+    @property
+    def running(self) -> bool:
+        return self._tick_event is not None
+
+    def start(self) -> None:
+        """Begin (or resume) sampling; idempotent while running."""
+        if self._tick_event is None:
+            self._tick_event = self.sim.schedule(self.period_ns, self._tick)
+
+    def stop(self) -> None:
+        """Cancel the pending tick; idempotent.  Safe to :meth:`start`
+        again afterwards."""
+        if self._tick_event is not None:
+            self._tick_event.cancel()
+            self._tick_event = None
+
+    def _tick(self) -> None:
+        self.sample(self.sim.now)
+        self._tick_event = self.sim.schedule(self.period_ns, self._tick)
+
+    def sample(self, now: int) -> None:
+        """Take one sample at sim time ``now``.  Subclasses override."""
+        raise NotImplementedError
+
+
+class QueueSampler(PeriodicSampler):
+    """Samples the backlog of a set of ports at a fixed period."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        ports: Sequence["OutputPort"],
+        period_ns: int = 100_000,
+    ) -> None:
+        super().__init__(sim, period_ns)
+        self.ports = list(ports)
+        self.samples: Dict[str, List[Tuple[int, int]]] = {
+            port.name: [] for port in self.ports
+        }
+
+    def sample(self, now: int) -> None:
+        for port in self.ports:
+            self.samples[port.name].append((now, port.backlog_bytes))
+
+    def max_backlog(self, port_name: str) -> int:
+        """Largest sampled backlog for one port."""
+        series = self.samples[port_name]
+        return max((b for _, b in series), default=0)
+
+    def mean_backlog(self, port_name: str) -> float:
+        series = self.samples[port_name]
+        if not series:
+            return 0.0
+        return sum(b for _, b in series) / len(series)
+
+    def stddev_backlog(self, port_name: str) -> float:
+        """Backlog standard deviation — the queue-oscillation measure."""
+        series = self.samples[port_name]
+        if len(series) < 2:
+            return 0.0
+        mean = self.mean_backlog(port_name)
+        var = sum((b - mean) ** 2 for _, b in series) / (len(series) - 1)
+        return var**0.5
+
+
+class UtilizationTracker:
+    """Average utilization of ports over a measurement window.
+
+    Not periodic — a two-point window (reset .. read), migrated from
+    ``repro.metrics.collector`` unchanged.
+    """
+
+    def __init__(self, sim: "Simulator", ports: Sequence["OutputPort"]) -> None:
+        self.sim = sim
+        self.ports = list(ports)
+        self._start_ns = sim.now
+        self._bytes_at_start = {p.name: p.bytes_sent for p in self.ports}
+
+    def reset(self) -> None:
+        self._start_ns = self.sim.now
+        self._bytes_at_start = {p.name: p.bytes_sent for p in self.ports}
+
+    def utilization(self) -> Dict[str, float]:
+        """Per-port average utilization since the last reset."""
+        return {
+            p.name: p.utilization_since(
+                self._start_ns, self._bytes_at_start[p.name]
+            )
+            for p in self.ports
+        }
+
+
+class UtilizationSeries(PeriodicSampler):
+    """Per-interval link utilization (fraction of capacity) per port."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        ports: Sequence["OutputPort"],
+        period_ns: int = 1_000_000,
+    ) -> None:
+        super().__init__(sim, period_ns)
+        self.ports = list(ports)
+        self.samples: Dict[str, List[Tuple[int, float]]] = {
+            port.name: [] for port in self.ports
+        }
+        self._last_bytes = {p.name: p.bytes_sent for p in self.ports}
+
+    def sample(self, now: int) -> None:
+        for port in self.ports:
+            sent = port.bytes_sent
+            delta = sent - self._last_bytes[port.name]
+            self._last_bytes[port.name] = sent
+            util = delta * 8e9 / (port.rate_bps * self.period_ns)
+            self.samples[port.name].append((now, util))
+
+
+class EcnFractionSeries(PeriodicSampler):
+    """Per-interval fraction of enqueued packets that got CE-marked."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        ports: Sequence["OutputPort"],
+        period_ns: int = 1_000_000,
+    ) -> None:
+        super().__init__(sim, period_ns)
+        self.ports = list(ports)
+        self.samples: Dict[str, List[Tuple[int, float]]] = {
+            port.name: [] for port in self.ports
+        }
+        self._last = {p.name: (p.ecn_marks, p.pkts_sent) for p in self.ports}
+
+    def sample(self, now: int) -> None:
+        for port in self.ports:
+            marks, pkts = port.ecn_marks, port.pkts_sent
+            last_marks, last_pkts = self._last[port.name]
+            self._last[port.name] = (marks, pkts)
+            dp = pkts - last_pkts
+            fraction = (marks - last_marks) / dp if dp > 0 else 0.0
+            self.samples[port.name].append((now, fraction))
+
+
+class PathStateSeries(PeriodicSampler):
+    """Algorithm 1 occupancy over one rack's sensed path table: at each
+    tick, how many (destination leaf, path) entries are good / gray /
+    congested / failed."""
+
+    CLASS_NAMES = ("good", "gray", "congested", "failed")
+
+    def __init__(
+        self, leaf_state: Any, period_ns: int = 1_000_000
+    ) -> None:
+        super().__init__(leaf_state.sim, period_ns)
+        self.leaf_state = leaf_state
+        self.samples: List[Tuple[int, Tuple[int, int, int, int]]] = []
+
+    def sample(self, now: int) -> None:
+        counts = [0, 0, 0, 0]
+        for state in self.leaf_state._table.values():
+            if state.is_failed(now):
+                counts[3] += 1
+            else:
+                counts[self.leaf_state._congestion_class(state)] += 1
+        self.samples.append((now, tuple(counts)))
+
+    def occupancy(self) -> Dict[str, float]:
+        """Mean fraction of sensed paths in each class over the run."""
+        if not self.samples:
+            return {name: 0.0 for name in self.CLASS_NAMES}
+        totals = [0.0, 0.0, 0.0, 0.0]
+        weight = 0
+        for _, counts in self.samples:
+            n = sum(counts)
+            if n == 0:
+                continue
+            weight += 1
+            for i, c in enumerate(counts):
+                totals[i] += c / n
+        if weight == 0:
+            return {name: 0.0 for name in self.CLASS_NAMES}
+        return {
+            name: totals[i] / weight for i, name in enumerate(self.CLASS_NAMES)
+        }
+
+
+class LoopProfiler:
+    """Event-loop profiler, attached as ``Simulator.profiler``.
+
+    The engine calls :meth:`on_event` once per dispatched event (one
+    ``is not None`` branch when no profiler is attached).  Tracks:
+
+    * events dispatched per callback kind (the function's qualname —
+      ``OutputPort._tx_done``, ``TcpFlow._on_rto``, ...), which is where
+      "where do events/sec go" is answered;
+    * per-slab samples of simulated time: events fired, heap size, and
+      wall-clock spent — the events/sec trajectory of the run.
+    """
+
+    def __init__(self, sim: "Simulator", slab_ns: int = 100_000_000) -> None:
+        if slab_ns <= 0:
+            raise ValueError("profiler slab must be positive")
+        self.sim = sim
+        self.slab_ns = slab_ns
+        self.by_kind: Dict[str, int] = {}
+        self.events = 0
+        #: (slab_start_ns, events_so_far, heap_size, wall_elapsed_s)
+        self.slabs: List[Tuple[int, int, int, float]] = []
+        self._cur_slab = -1
+        self._wall_start = time.perf_counter()
+
+    def on_event(self, event: Any) -> None:
+        self.events += 1
+        name = getattr(event.fn, "__qualname__", None) or repr(event.fn)
+        self.by_kind[name] = self.by_kind.get(name, 0) + 1
+        slab = event.time // self.slab_ns
+        if slab != self._cur_slab:
+            self._cur_slab = slab
+            self.slabs.append(
+                (
+                    slab * self.slab_ns,
+                    self.events,
+                    len(self.sim._queue),
+                    time.perf_counter() - self._wall_start,
+                )
+            )
+
+    def top_kinds(self, n: int = 10) -> List[Tuple[str, int]]:
+        """The ``n`` callback kinds dispatched most often."""
+        return sorted(self.by_kind.items(), key=lambda kv: -kv[1])[:n]
+
+    def summary(self) -> Dict[str, Any]:
+        wall = time.perf_counter() - self._wall_start
+        return {
+            "events": self.events,
+            "wall_s": round(wall, 4),
+            "events_per_sec": round(self.events / wall, 1) if wall > 0 else 0.0,
+            "max_heap": max((s[2] for s in self.slabs), default=0),
+            "by_kind": dict(self.top_kinds(20)),
+        }

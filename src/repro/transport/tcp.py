@@ -127,11 +127,15 @@ class TcpFlow(FlowBase):
             self.bytes_sent += payload
         else:
             self.retx_count += 1
+            lost_path = self._path_of.get(seq, path)
             agent = self.fabric.hosts[self.src].lb
             if agent is not None:
                 # Blame the path that carried the lost copy, not the one
                 # the retransmission happens to use.
-                agent.on_retransmit(self, self._path_of.get(seq, path))
+                agent.on_retransmit(self, lost_path)
+            tracer = self.fabric.tracer
+            if tracer is not None:
+                tracer.on_retransmit(self, seq, lost_path)
         self._path_of[seq] = path
         self._rate_add(wire)
         self.fabric.send(packet)
@@ -234,6 +238,9 @@ class TcpFlow(FlowBase):
         agent = self.fabric.hosts[self.src].lb
         if agent is not None:
             agent.on_timeout(self, self.current_path)
+        tracer = self.fabric.tracer
+        if tracer is not None:
+            tracer.on_timeout(self, self.current_path)
         # Go-back-N restart from the first unacked segment.
         self.snd_nxt = self.snd_una + 1
         self._transmit(self.snd_una, retx=True)

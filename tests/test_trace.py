@@ -44,12 +44,20 @@ class TestTracer:
             fabric.sim.run(until=10_000_000)
         assert sorted(tracer.paths_used(flow.flow_id)) == [0, 1]
 
-    def test_detach_restores_fabric(self, fabric):
-        original_send = fabric.send
+    def test_detach_releases_hook(self, fabric):
         tracer = PacketTracer(fabric).attach()
-        assert fabric.send != original_send
+        assert fabric.tracer is tracer
         tracer.detach()
-        assert fabric.send == original_send
+        assert fabric.tracer is None
+
+    def test_attach_refuses_occupied_hook(self, fabric):
+        import pytest
+
+        first = PacketTracer(fabric).attach()
+        with pytest.raises(RuntimeError):
+            PacketTracer(fabric).attach()
+        first.detach()
+        PacketTracer(fabric).attach().detach()
 
     def test_truncation(self, fabric):
         install_lb(fabric, "ecmp")
