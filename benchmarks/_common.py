@@ -63,6 +63,7 @@ def run_grid(
     seeds: Sequence[int] = (1,),
     time_scale: float = 1.0,
     failure: Optional[FailureSpec] = None,
+    faults=None,
     lb_params: Optional[Dict[str, Dict]] = None,
     hermes_overrides: Optional[Dict] = None,
     extra_drain_ns: int = 2_000_000_000,
@@ -95,6 +96,7 @@ def run_grid(
             size_scale=size_scale,
             time_scale=time_scale,
             failure=failure,
+            faults=faults,
             hermes_overrides=hermes_overrides or {},
             extra_drain_ns=extra_drain_ns,
             **scheme_kwargs(lb, topology),

@@ -1,0 +1,100 @@
+"""Fig. 16-style detection/recovery timeline on a scheduled link outage.
+
+Paper context (§5.3, Figs. 16-18): Hermes' value is not just lower FCT
+under a *standing* malfunction but how fast it *detects* a fresh one and
+how cleanly it *recovers* once the network heals.  The static failure
+benches cannot show that — their malfunction exists from t=0 and never
+goes away.  This bench drives the dynamic fault plane instead: one
+leaf-spine link goes admin-down mid-run and comes back 35 ms later,
+and the run reports the paper's two timeline metrics per scheme:
+
+* **time-to-detect** — first applied fault to the scheme's first failure
+  detection (τ-sweep, RTO attribution or per-flow blackhole evidence);
+* **time-to-recover** — last reverted fault until the last
+  timeout-afflicted flow drained.
+
+Paper shape: Hermes detects within its timeout/sweep timescale and
+recovers promptly; ECMP never detects (it has no failure detector) and
+strands the flows hashed onto the dark link — they surface as
+``unrecovered`` timeouts, the Fig. 17b signature.
+
+Reproduction note: unscaled sizes and timers on the small bench fabric —
+detection runs on wall-clock timers (10 ms RTO, τ sweep), which cannot
+be size-scaled without collapsing the detection-to-FCT ratio
+(see EXPERIMENTS.md).
+"""
+
+from _common import emit, run_grid
+from repro.experiments.report import format_table
+from repro.experiments.scenarios import bench_topology
+from repro.faults.spec import link_down, link_up, schedule
+
+MS = 1_000_000
+LOAD = 0.5
+SCHEMES = ("ecmp", "letflow", "conga", "hermes")
+N_FLOWS = 100
+
+#: One clean outage cycle: down at 20 ms (mid-run, traffic flowing),
+#: healed at 55 ms — long enough to outlast several RTOs, so detection
+#: has unambiguous evidence to fire on.
+FAULTS = schedule(
+    link_down(20 * MS, leaf=0, spine=0),
+    link_up(55 * MS, leaf=0, spine=0),
+)
+
+
+def reproduce():
+    return run_grid(
+        bench_topology(n_leaves=4, n_spines=4, hosts_per_leaf=3),
+        SCHEMES,
+        (LOAD,),
+        "web-search",
+        n_flows=N_FLOWS,
+        size_scale=1.0,
+        seeds=(2,),
+        faults=FAULTS,
+        extra_drain_ns=40 * MS,
+    )
+
+
+def _fmt_ms(value_ns):
+    return "-" if value_ns is None else f"{value_ns / MS:.3f}"
+
+
+def test_recovery_timeline(once):
+    grid = once(reproduce)
+    rows = []
+    for lb in SCHEMES:
+        r = grid[lb][LOAD][0]
+        rows.append([
+            lb,
+            _fmt_ms(r.detection_ns),
+            _fmt_ms(r.recovery_ns),
+            r.unrecovered_timeouts,
+            f"{r.mean_fct_ms_with_penalty():.3f}",
+        ])
+    body = format_table(
+        ["scheme", "detect (ms)", "recover (ms)", "unrecovered",
+         "FCT+penalty (ms)"],
+        rows,
+    )
+    timeline = grid[SCHEMES[0]][LOAD][0].fault_timeline
+    body += "\nfault timeline: " + "; ".join(
+        f"t={r['t'] / MS:g}ms {r['action']} {r['target']} ({r['phase']})"
+        for r in timeline
+    )
+    body += (
+        "\npaper: Hermes detects within its timeout/sweep timescale and"
+        " drains the damage once the link heals; ECMP never detects and"
+        " strands the flows hashed onto the dark link"
+    )
+    emit("recovery_timeline", "Detection/recovery on a link outage", body)
+
+    hermes = grid["hermes"][LOAD][0]
+    assert hermes.detection_ns is not None, "Hermes must detect the outage"
+    assert hermes.recovery_ns is not None, "Hermes must drain the damage"
+    assert hermes.unrecovered_timeouts == 0
+
+    ecmp = grid["ecmp"][LOAD][0]
+    assert ecmp.detection_ns is None, "ECMP has no failure detector"
+    assert ecmp.unrecovered_timeouts > 0, "ECMP must strand hashed flows"

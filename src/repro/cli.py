@@ -61,6 +61,12 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--failure", choices=["random_drop", "blackhole"],
                         default=None)
     parser.add_argument("--drop-rate", type=float, default=0.02)
+    parser.add_argument("--faults", default=None, metavar="SCHEDULE",
+                        help="time-scheduled fault plane, e.g. "
+                             "'link_down@5ms:leaf=0,spine=1; "
+                             "link_up@20ms:leaf=0,spine=1' or "
+                             "'flap@2ms:leaf=0,spine=0,period=4ms,"
+                             "duty=0.5,until=30ms' (times in ns/us/ms/s)")
     parser.add_argument("--jobs", type=_positive_int, default=None,
                         help="worker processes for multi-cell runs "
                              "(default: $REPRO_JOBS, else all cores); "
@@ -79,6 +85,11 @@ def _config_from_args(args, lb: str) -> ExperimentConfig:
     if args.failure:
         failure = FailureSpec(kind=args.failure, spine=0,
                               drop_rate=args.drop_rate)
+    faults = None
+    if getattr(args, "faults", None):
+        from repro.faults import parse_schedule
+
+        faults = parse_schedule(args.faults)
     time_scale = args.time_scale if args.time_scale is not None else args.size_scale
     extra = {}
     if lb in ("presto", "drb"):
@@ -96,6 +107,7 @@ def _config_from_args(args, lb: str) -> ExperimentConfig:
         size_scale=args.size_scale,
         time_scale=time_scale,
         failure=failure,
+        faults=faults,
         validate=args.validate,
         **extra,
     )
@@ -119,6 +131,39 @@ RESULT_HEADERS = [
     "unfinished", "reroutes",
 ]
 
+FAULT_HEADERS = ["scheme", "detect (ms)", "recover (ms)", "unrecovered"]
+
+
+def _fault_ms(value_ns: Optional[int]) -> str:
+    return "-" if value_ns is None else f"{value_ns / 1e6:.3f}"
+
+
+def _print_fault_report(pairs: List) -> None:
+    """Detection/recovery table + fault timeline for faulted runs."""
+    rows = [
+        [lb, _fault_ms(r.detection_ns), _fault_ms(r.recovery_ns),
+         r.unrecovered_timeouts]
+        for lb, r in pairs
+    ]
+    print("\nfault plane:")
+    print(format_table(FAULT_HEADERS, rows))
+    timeline = pairs[0][1].fault_timeline
+    if timeline:
+        print("\nfault timeline:")
+        for event in timeline:
+            print(
+                f"  t={event['t'] / 1e6:10.3f}ms  {event['action']:<18}"
+                f"{event['target']:<22}{event['phase']}"
+            )
+
+
+def _print_cell_errors(pairs: List) -> int:
+    """Report failed cells (timeout / crashed worker) on stderr."""
+    failed = [(lb, r.error) for lb, r in pairs if r.error is not None]
+    for lb, reason in failed:
+        print(f"warning: cell '{lb}' failed: {reason}", file=sys.stderr)
+    return len(failed)
+
 
 def cmd_run(args) -> int:
     result = run_cells(
@@ -127,6 +172,10 @@ def cmd_run(args) -> int:
         use_cache=False if args.no_cache else None,
     )[0]
     print(format_table(RESULT_HEADERS, [_result_row(args.lb, result)]))
+    if result.fault_timeline:
+        _print_fault_report([(args.lb, result)])
+    if _print_cell_errors([(args.lb, result)]):
+        return 1
     return 0
 
 
@@ -143,6 +192,10 @@ def cmd_compare(args) -> int:
         _result_row(lb, result) for lb, result in zip(schemes, results)
     ]
     print(format_table(RESULT_HEADERS, rows))
+    if any(r.fault_timeline for r in results):
+        _print_fault_report(list(zip(schemes, results)))
+    if _print_cell_errors(list(zip(schemes, results))):
+        return 1
     return 0
 
 
@@ -152,18 +205,22 @@ def cmd_cache(args) -> int:
         removed = cache.clear()
         print(f"cleared {removed} cached results from {cache.directory}")
     else:
-        print(f"cache dir: {cache.directory}")
-        print(f"entries:   {cache.size()}")
+        print(f"cache dir:   {cache.directory}")
+        print(f"entries:     {cache.size()}")
+        print(f"corruptions: {cache.corruption_count()} (healed)")
     return 0
 
 
 def cmd_chaos(args) -> int:
     from repro.validate.fuzz import chaos_command, run_case, run_sweep, shrink_case
 
+    with_faults = True if getattr(args, "faults", False) else None
     if args.seed is not None:
         # Single-case replay: the command every violation fingerprint
         # points back to.
-        case = run_case(args.seed, raise_error=not args.shrink)
+        case = run_case(
+            args.seed, raise_error=not args.shrink, with_faults=with_faults
+        )
         if case.ok:
             inv = case.invariants or {}
             print(
@@ -184,19 +241,26 @@ def cmd_chaos(args) -> int:
         return 1
 
     seeds = range(args.base_seed, args.base_seed + args.cases)
-    results = run_sweep(seeds)
+    results = run_sweep(seeds, with_faults=with_faults)
     failures = [case for case in results if not case.ok]
     rows = [
         [
             case.seed,
             case.config.lb,
             case.config.failure.kind if case.config.failure else "-",
+            (
+                case.config.faults.events[0].action
+                if case.config.faults
+                else "-"
+            ),
             case.events,
             "VIOLATION" if not case.ok else "ok",
         ]
         for case in results
     ]
-    print(format_table(["seed", "scheme", "failure", "events", "verdict"], rows))
+    print(format_table(
+        ["seed", "scheme", "failure", "faults", "events", "verdict"], rows
+    ))
     if failures:
         for case in failures:
             print(f"\n{case.error}", file=sys.stderr)
@@ -414,6 +478,9 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument("--shrink", action="store_true",
                               help="on violation, shrink to a minimal "
                                    "failing config")
+    chaos_parser.add_argument("--faults", action="store_true",
+                              help="attach a randomized time-scheduled "
+                                   "fault schedule to every case")
     chaos_parser.set_defaults(fn=cmd_chaos)
 
     golden_parser = sub.add_parser(

@@ -242,6 +242,7 @@ class HermesLB(LoadBalancer):
             # Blackhole: repeated timeouts and not a single ACK on the path.
             self.failed_pairs.add((flow.dst, path_id))
             self.blackhole_detections += 1
+            self.leaf_state.detection_times.append(self.fabric.sim.now)
 
     def on_retransmit(self, flow: "FlowBase", path_id: int) -> None:
         if path_id < 0:

@@ -34,7 +34,7 @@ rack-level aggregation (documented in DESIGN.md §4).
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Tuple, TYPE_CHECKING
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.parameters import HermesParams
 
@@ -129,6 +129,10 @@ class HermesLeafState:
         self._initial_rtt = fabric.config.base_rtt_ns()
         self._table: Dict[Tuple[int, int], PathState] = {}
         self.failed_detections = 0
+        #: Simulation times (ns) at which a path was marked failed —
+        #: either explicitly or by the τ-sweep.  Feeds the
+        #: detection-latency metric of the recovery-timeline experiment.
+        self.detection_times: List[int] = []
         self._sweep_started = False
         #: Optional invariant checker (see :mod:`repro.validate`):
         #: validates every classify() against Algorithm 1's machine.
@@ -201,6 +205,7 @@ class HermesLeafState:
             )
         state.failed_until = self.sim.now + hold
         self.failed_detections += 1
+        self.detection_times.append(self.sim.now)
 
     # ------------------------------------------------------------------ #
     # Classification (Algorithm 1)
@@ -271,6 +276,7 @@ class HermesLeafState:
                         )
                     state.failed_until = self.sim.now + params.failure_hold_ns
                     self.failed_detections += 1
+                    self.detection_times.append(self.sim.now)
             state.sent_pkts = 0
             state.retx_pkts = 0
             state.retx_by_flow.clear()

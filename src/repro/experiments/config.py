@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
+from repro.faults.spec import FaultScheduleSpec
 from repro.net.topology import TopologyConfig
 from repro.sim.engine import seconds
 
@@ -70,7 +71,13 @@ class ExperimentConfig:
             scale ``retx_fraction_threshold`` identically to keep the
             detector between congestion noise and failure signal).
         max_cwnd: congestion-window cap in packets.
-        failure: optional switch malfunction.
+        failure: optional switch malfunction, installed statically at t=0.
+        faults: optional time-scheduled fault plane (see
+            :mod:`repro.faults`) — link down/up, degrade/restore, random
+            drops, blackholes and flapping, each applied/reverted at its
+            scheduled nanosecond mid-run.  Fault RNG draws come from a
+            dedicated stream, so runs are bit-identical outside the
+            fault window.  Part of the result-cache key.
         extra_drain_ns: how long past the last arrival the run may last
             before unfinished flows are declared (blackholed ECMP flows
             never finish — the paper's Fig. 17b).
@@ -105,6 +112,7 @@ class ExperimentConfig:
     max_cwnd: float = 800.0
     hermes_overrides: Dict[str, Any] = field(default_factory=dict)
     failure: Optional[FailureSpec] = None
+    faults: Optional[FaultScheduleSpec] = None
     extra_drain_ns: int = seconds(2.0)
     visibility_sampling: bool = False
     validate: bool = False

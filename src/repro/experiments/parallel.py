@@ -26,17 +26,29 @@ Knobs (CLI flags override the environment):
   (handy under a debugger).  Default: ``os.cpu_count()``.
 * ``REPRO_CACHE`` — set to ``0``/``off`` to disable the cache.
 * ``REPRO_CACHE_DIR`` — cache location.  Default: ``~/.cache/repro-grid``.
+* ``REPRO_CELL_TIMEOUT`` — per-cell wall-clock budget in seconds; a cell
+  exceeding it is marked failed-with-reason (``ResultSummary.error``)
+  and its worker is killed instead of hanging the whole grid.
+
+Crash tolerance: a worker killed mid-cell (OOM kill, segfault, machine
+going away) used to surface as ``BrokenProcessPool`` and abort the grid.
+``run_cells`` now collects the cells that *did* finish, restarts the
+pool for the rest, and — after bounded pool retries — falls back to
+running the survivors serially in-process, so one poisoned cell can no
+longer take the other N-1 down with it.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import hashlib
+import multiprocessing
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import (
@@ -74,6 +86,15 @@ class ResultSummary:
     total_reroutes: int
     visibility_switch_pair: Optional[float] = None
     visibility_host_pair: Optional[float] = None
+    #: Fault-plane outputs (see :class:`ExperimentResult` for semantics).
+    fault_timeline: Tuple[dict, ...] = ()
+    detection_ns: Optional[int] = None
+    recovery_ns: Optional[int] = None
+    unrecovered_timeouts: int = 0
+    #: Why the cell produced no result (``None`` for a successful run).
+    #: Set for cells that exceeded ``REPRO_CELL_TIMEOUT``; failed cells
+    #: are never written to the cache.
+    error: Optional[str] = None
 
     @property
     def mean_fct_ms(self) -> float:
@@ -94,12 +115,46 @@ class ResultSummary:
             total_reroutes=result.total_reroutes,
             visibility_switch_pair=result.visibility_switch_pair,
             visibility_host_pair=result.visibility_host_pair,
+            fault_timeline=result.fault_timeline,
+            detection_ns=result.detection_ns,
+            recovery_ns=result.recovery_ns,
+            unrecovered_timeouts=result.unrecovered_timeouts,
         )
+
+
+def _failed_summary(config: ExperimentConfig, reason: str) -> ResultSummary:
+    """Placeholder for a cell that produced no result (timed out)."""
+    return ResultSummary(
+        config=config,
+        stats=FctStats([]),
+        sim_time_ns=0,
+        events=0,
+        total_reroutes=0,
+        error=reason,
+    )
+
+
+def _test_fault_hooks(config: ExperimentConfig) -> None:
+    """Deterministic worker-fault injection for the crash-tolerance
+    tests: inert unless a ``REPRO_TEST_*`` variable names this cell's
+    seed, and never fires in the parent process — a serial in-process
+    re-run of a cell that killed its worker must survive."""
+    if multiprocessing.parent_process() is None:
+        return
+    crash = os.environ.get("REPRO_TEST_CRASH_SEED")
+    if crash and config.seed == int(crash):
+        os._exit(1)  # simulates an OOM kill / segfault mid-cell
+    sleep = os.environ.get("REPRO_TEST_SLEEP")
+    if sleep:
+        seed_s, _, secs = sleep.partition(":")
+        if config.seed == int(seed_s):
+            time.sleep(float(secs))  # simulates a hung cell
 
 
 def _run_cell(config: ExperimentConfig) -> ResultSummary:
     """Worker entry point: one cell, summarized.  Must stay module-level
     so the pool can import it by reference."""
+    _test_fault_hooks(config)
     return ResultSummary.from_result(run_experiment(config))
 
 
@@ -192,6 +247,10 @@ def cache_enabled() -> bool:
 class ResultCache:
     """Pickled :class:`ResultSummary` objects under content addresses."""
 
+    #: Ledger of entries deleted because they failed to decode; one
+    #: filename per line, surfaced by ``repro cache``.
+    CORRUPT_LOG = "corrupt.log"
+
     def __init__(self, directory: Optional[str] = None) -> None:
         self.directory = directory or default_cache_dir()
 
@@ -199,8 +258,9 @@ class ResultCache:
         return os.path.join(self.directory, f"{key}.pkl")
 
     def get(self, config: ExperimentConfig) -> Optional[ResultSummary]:
+        path = self._path(config_key(config))
         try:
-            with open(self._path(config_key(config)), "rb") as fh:
+            with open(path, "rb") as fh:
                 return pickle.load(fh)
         except OSError:
             return None  # plain miss
@@ -208,7 +268,29 @@ class ResultCache:
             # Unpickling corrupt bytes can raise nearly anything
             # (UnpicklingError, ValueError, EOFError, ImportError, ...);
             # a stale or damaged entry is never fatal — just re-simulate.
+            # Self-heal: a truncated/corrupt entry would otherwise sit on
+            # disk producing a decode failure on every future lookup.
+            self._evict_corrupt(path)
             return None
+
+    def _evict_corrupt(self, path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            return  # a concurrent reader already healed it
+        try:
+            with open(os.path.join(self.directory, self.CORRUPT_LOG), "a") as fh:
+                fh.write(os.path.basename(path) + "\n")
+        except OSError:
+            pass  # the ledger is best-effort; the heal itself succeeded
+
+    def corruption_count(self) -> int:
+        """How many corrupt entries this cache directory has ever healed."""
+        try:
+            with open(os.path.join(self.directory, self.CORRUPT_LOG)) as fh:
+                return sum(1 for _ in fh)
+        except OSError:
+            return 0
 
     def put(self, config: ExperimentConfig, summary: ResultSummary) -> None:
         os.makedirs(self.directory, exist_ok=True)
@@ -234,10 +316,11 @@ class ResultCache:
         except OSError:
             return 0
         for name in names:
-            if name.endswith((".pkl", ".tmp")):
+            if name.endswith((".pkl", ".tmp")) or name == self.CORRUPT_LOG:
                 try:
                     os.unlink(os.path.join(self.directory, name))
-                    removed += 1
+                    if name != self.CORRUPT_LOG:
+                        removed += 1
                 except OSError:
                     pass
         return removed
@@ -254,6 +337,88 @@ class ResultCache:
 # --------------------------------------------------------------------- #
 # Execution
 # --------------------------------------------------------------------- #
+
+
+def cell_timeout() -> Optional[float]:
+    """Per-cell wall-clock budget from ``REPRO_CELL_TIMEOUT`` (seconds),
+    or ``None`` when unset.  Applies only to pool execution — a serial
+    in-process cell cannot be interrupted from within."""
+    env = os.environ.get("REPRO_CELL_TIMEOUT")
+    if not env:
+        return None
+    try:
+        value = float(env)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_CELL_TIMEOUT must be a number of seconds, got {env!r}"
+        ) from None
+    if value <= 0:
+        raise ValueError(f"REPRO_CELL_TIMEOUT must be positive, got {value}")
+    return value
+
+
+def _kill_pool(pool) -> None:
+    """Terminate a pool's workers without waiting: a hung cell holds its
+    worker forever, so a graceful shutdown would hang too."""
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+#: Pool restarts before falling back to serial in-process execution.
+MAX_POOL_ROUNDS = 2
+
+
+def _pool_round(
+    configs: Sequence[ExperimentConfig],
+    pending: List[int],
+    results: List[Optional["ResultSummary"]],
+    jobs: int,
+    timeout: Optional[float],
+) -> List[int]:
+    """One ProcessPoolExecutor attempt over ``pending``.
+
+    Fills ``results`` for every cell that completed (or exceeded the
+    per-cell timeout, which yields a failed-with-reason summary) and
+    returns the indices that still need a run — non-empty exactly when a
+    worker died (``BrokenProcessPool``) or was killed after a timeout,
+    taking queued cells down with it.
+    """
+    from concurrent.futures import CancelledError, ProcessPoolExecutor
+    from concurrent.futures import TimeoutError as FutureTimeout
+    from concurrent.futures.process import BrokenProcessPool
+
+    pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
+    futures = {i: pool.submit(_run_cell, configs[i]) for i in pending}
+    leftover: List[int] = []
+    try:
+        for i in pending:
+            future = futures[i]
+            try:
+                # Each wait gets a fresh budget: cells run concurrently
+                # and queued cells accrue waiting time, so a shared
+                # deadline would kill innocent cells on large grids.
+                # This errs toward leniency — a hung cell still cannot
+                # stall the grid longer than ~timeout past the previous
+                # cell's completion.
+                results[i] = future.result(timeout=timeout)
+            except FutureTimeout:
+                results[i] = _failed_summary(
+                    configs[i],
+                    f"cell exceeded REPRO_CELL_TIMEOUT={timeout:g}s",
+                )
+                # The worker is wedged inside the cell; the only way out
+                # is to kill it, which breaks the pool for queued cells —
+                # they surface below as BrokenProcessPool and get retried.
+                _kill_pool(pool)
+            except (BrokenProcessPool, CancelledError):
+                leftover.append(i)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return leftover
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -314,22 +479,24 @@ def run_cells(
             misses.append(i)
 
     if misses:
-        if jobs == 1 or len(misses) == 1:
-            for i in misses:
-                results[i] = _run_cell(configs[i])
-        else:
-            from concurrent.futures import ProcessPoolExecutor
-
-            workers = min(jobs, len(misses))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                for i, summary in zip(
-                    misses, pool.map(_run_cell, (configs[i] for i in misses))
-                ):
-                    results[i] = summary
+        timeout = cell_timeout()
+        pending = list(misses)
+        if jobs > 1 and len(pending) > 1:
+            for _ in range(MAX_POOL_ROUNDS):
+                if not pending:
+                    break
+                pending = _pool_round(configs, pending, results, jobs, timeout)
+        # Serial path — and the crash-tolerance fallback: cells that
+        # survived MAX_POOL_ROUNDS broken pools re-run in-process, where
+        # a worker crash cannot eat them (a cell that kills *this*
+        # process was never going to produce a result anywhere).
+        for i in pending:
+            results[i] = _run_cell(configs[i])
         if cache is not None:
             for i in misses:
-                if not configs[i].trace:
-                    cache.put(configs[i], results[i])
+                summary = results[i]
+                if not configs[i].trace and summary.error is None:
+                    cache.put(configs[i], summary)
 
     return results  # type: ignore[return-value]
 

@@ -4,9 +4,10 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.experiments.config import ExperimentConfig, FailureSpec
+from repro.faults.plane import FaultSchedule
 from repro.lb.factory import install_lb
 from repro.metrics.fct import FctStats, FlowRecord
 from repro.metrics.visibility import VisibilitySampler
@@ -39,6 +40,22 @@ class ExperimentResult:
     visibility_host_pair: Optional[float] = None
     #: The run's :class:`repro.telemetry.Telemetry` when tracing was on.
     telemetry: Optional[Any] = None
+    #: Applied/reverted fault transitions (dicts, oldest first) when the
+    #: run carried a fault schedule; empty otherwise.
+    fault_timeline: Tuple[dict, ...] = ()
+    #: Time from the first applied fault to the scheme's first failure
+    #: detection at/after it (``None``: no faults, or never detected —
+    #: schemes without a failure detector, e.g. ECMP, never detect).
+    detection_ns: Optional[int] = None
+    #: Time from the last reverted fault until the last timeout-afflicted
+    #: flow finished — how long the scheme needed to drain the damage
+    #: after the network healed.  ``0`` if no flow suffered a timeout;
+    #: ``None`` if any timeout-afflicted flow never finished (see
+    #: ``unrecovered_timeouts``) or the schedule never reverted.
+    recovery_ns: Optional[int] = None
+    #: Flows that suffered timeouts and were still unfinished at the end
+    #: of the run — the signature of a scheme that never recovered.
+    unrecovered_timeouts: int = 0
 
     @property
     def mean_fct_ms(self) -> float:
@@ -129,6 +146,14 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         watch_lb(telemetry, fabric, shared)
     if config.failure is not None:
         _install_failure(fabric, config.failure, rng)
+    fault_plane: Optional[FaultSchedule] = None
+    if config.faults is not None and config.faults:
+        fault_plane = FaultSchedule(
+            fabric,
+            config.faults,
+            rng.get("faults"),
+            audit=telemetry.audit if telemetry is not None else None,
+        ).install()
 
     distribution = distribution_by_name(config.workload)
     if config.size_scale != 1.0:
@@ -154,6 +179,12 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
 
     flows: List[TcpFlow] = []
     remaining = len(arrivals)
+    # The run may not stop while fault events are still scheduled: a
+    # revert that never fires would leave the timeline (and the recovery
+    # metric) incomplete.  Capped at the drain deadline below.
+    fault_end_ns = 0
+    if fault_plane is not None:
+        fault_end_ns = max(e.time_ns for e in fault_plane.expanded_events())
 
     def on_done(flow) -> None:
         nonlocal remaining
@@ -161,7 +192,10 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         if sampler is not None:
             sampler.flow_finished(flow)
         if remaining == 0:
-            sim.stop()
+            if sim.now >= fault_end_ns:
+                sim.stop()
+            else:
+                sim.schedule_at(fault_end_ns, sim.stop)
 
     fabric.on_flow_done = on_done
 
@@ -206,6 +240,14 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     total_reroutes = sum(
         host.lb.reroutes for host in fabric.hosts if host.lb is not None
     )
+    fault_timeline: Tuple[dict, ...] = ()
+    detection_ns: Optional[int] = None
+    recovery_ns: Optional[int] = None
+    unrecovered = 0
+    if fault_plane is not None:
+        fault_timeline = fault_plane.timeline()
+        detection_ns = _detection_latency_ns(fault_plane, shared)
+        recovery_ns, unrecovered = _recovery_latency_ns(fault_plane, records)
     from repro.metrics.fct import LARGE_FLOW_BYTES, SMALL_FLOW_BYTES
 
     return ExperimentResult(
@@ -227,4 +269,58 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             sampler.host_pair_visibility() if sampler is not None else None
         ),
         telemetry=telemetry,
+        fault_timeline=fault_timeline,
+        detection_ns=detection_ns,
+        recovery_ns=recovery_ns,
+        unrecovered_timeouts=unrecovered,
     )
+
+
+def _detection_latency_ns(
+    plane: FaultSchedule, shared: Dict[str, Any]
+) -> Optional[int]:
+    """Nanoseconds from the first applied fault to the scheme's first
+    failure detection at/after it (``None`` when the scheme has no
+    failure detector, or never fired one — e.g. ECMP)."""
+    first_apply = plane.first_applied_ns()
+    if first_apply is None:
+        return None
+    detections: List[int] = []
+    for state in shared.get("leaf_states", {}).values():
+        times = getattr(state, "detection_times", None)
+        if times:
+            detections.extend(t for t in times if t >= first_apply)
+    return min(detections) - first_apply if detections else None
+
+
+def _recovery_latency_ns(
+    plane: FaultSchedule, records: List[FlowRecord]
+) -> tuple:
+    """(recovery_ns, unrecovered_timeouts) — see ExperimentResult docs.
+
+    Scheme-agnostic: measured purely from per-flow records.  A flow is
+    *afflicted* if it suffered a timeout while alive during the fault
+    window [first apply, last revert] — timeouts of flows that ran
+    entirely outside the window are congestion noise, not fault damage.
+    Recovery is over when the last afflicted flow finished; the latency
+    is measured from the last reverted fault (the instant the network
+    was healthy again)."""
+    first_apply = plane.first_applied_ns()
+    last_revert = plane.last_reverted_ns()
+    if first_apply is None:
+        return None, 0
+    window_end = last_revert if last_revert is not None else None
+    afflicted = [
+        r
+        for r in records
+        if r.timeouts > 0
+        and (window_end is None or r.start_ns <= window_end)
+        and (r.fct_ns is None or r.start_ns + r.fct_ns >= first_apply)
+    ]
+    unrecovered = sum(1 for r in afflicted if r.fct_ns is None)
+    if last_revert is None or unrecovered:
+        return None, unrecovered
+    if not afflicted:
+        return 0, 0
+    last_done = max(r.start_ns + r.fct_ns for r in afflicted)
+    return max(0, last_done - last_revert), 0

@@ -17,13 +17,48 @@ with no link-down signal any routing layer could observe.
 from __future__ import annotations
 
 import random
-from typing import FrozenSet, Iterable, Set, Tuple
+from typing import FrozenSet, Iterable, List, Set, Tuple, TYPE_CHECKING
 
 from repro.net.packet import Packet
 from repro.net.topology import LeafSpineTopology
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.port import OutputPort
 
-class RandomDropFailure:
+
+class _RevocableFailure:
+    """Base for drop-predicate failures: installable and *uninstallable*.
+
+    The dynamic fault plane (:mod:`repro.faults`) reverts failures
+    mid-run, so every handle remembers which ports it attached to and can
+    remove itself again.  Static t=0 installation keeps working unchanged.
+    """
+
+    def __init__(self) -> None:
+        self.dropped = 0
+        self._ports: List["OutputPort"] = []
+
+    def install(self, topology: LeafSpineTopology, spine: int) -> None:
+        """Attach to every downlink of ``spine``."""
+        for port in topology.spine_ports(spine):
+            port.drop_predicates.append(self)
+            self._ports.append(port)
+
+    def uninstall(self) -> None:
+        """Detach from every port this handle was installed on (idempotent)."""
+        for port in self._ports:
+            try:
+                port.drop_predicates.remove(self)
+            except ValueError:
+                pass
+        self._ports.clear()
+
+    @property
+    def installed(self) -> bool:
+        return bool(self._ports)
+
+
+class RandomDropFailure(_RevocableFailure):
     """Silent random packet drops at a switch.
 
     Args:
@@ -33,11 +68,11 @@ class RandomDropFailure:
     """
 
     def __init__(self, drop_rate: float, rng: random.Random) -> None:
+        super().__init__()
         if not 0.0 <= drop_rate <= 1.0:
             raise ValueError(f"drop rate must be in [0, 1], got {drop_rate}")
         self.drop_rate = drop_rate
         self.rng = rng
-        self.dropped = 0
 
     def __call__(self, packet: Packet, now: int) -> bool:
         if self.rng.random() < self.drop_rate:
@@ -45,13 +80,8 @@ class RandomDropFailure:
             return True
         return False
 
-    def install(self, topology: LeafSpineTopology, spine: int) -> None:
-        """Attach to every downlink of ``spine``."""
-        for port in topology.spine_ports(spine):
-            port.drop_predicates.append(self)
 
-
-class BlackholeFailure:
+class BlackholeFailure(_RevocableFailure):
     """Deterministic drops for a set of (src, dst) host pairs.
 
     Models TCAM-deficit blackholes: packets whose (source, destination)
@@ -60,19 +90,14 @@ class BlackholeFailure:
     """
 
     def __init__(self, pairs: Iterable[Tuple[int, int]]) -> None:
+        super().__init__()
         self.pairs: FrozenSet[Tuple[int, int]] = frozenset(pairs)
-        self.dropped = 0
 
     def __call__(self, packet: Packet, now: int) -> bool:
         if (packet.src, packet.dst) in self.pairs:
             self.dropped += 1
             return True
         return False
-
-    def install(self, topology: LeafSpineTopology, spine: int) -> None:
-        """Attach to every downlink of ``spine``."""
-        for port in topology.spine_ports(spine):
-            port.drop_predicates.append(self)
 
 
 def blackhole_pairs_between_racks(

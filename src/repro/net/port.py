@@ -60,11 +60,13 @@ class OutputPort:
         "_queues",
         "backlog_bytes",
         "busy",
+        "admin_down",
         "drop_predicates",
         "bytes_sent",
         "pkts_sent",
         "drops_overflow",
         "drops_injected",
+        "drops_linkdown",
         "max_backlog",
         "dre_tau_ns",
         "_dre_value",
@@ -105,12 +107,16 @@ class OutputPort:
         self._queues: List[deque] = [deque() for _ in range(NUM_PRIORITIES)]
         self.backlog_bytes = 0
         self.busy = False
+        #: Admin-down (scheduled ``link_down``): new arrivals are dropped,
+        #: queued packets stall, the in-flight packet drains normally.
+        self.admin_down = False
         self.drop_predicates: List[Callable[[Packet, int], bool]] = []
         # Statistics.
         self.bytes_sent = 0
         self.pkts_sent = 0
         self.drops_overflow = 0
         self.drops_injected = 0
+        self.drops_linkdown = 0
         self.max_backlog = 0
         self.data_bytes_enqueued = 0
         self.ecn_marks = 0
@@ -150,6 +156,13 @@ class OutputPort:
         injected failure); the caller never learns which — exactly like a
         real network, losses surface only through transport timeouts.
         """
+        if self.admin_down:
+            self.drops_linkdown += 1
+            if self.checker is not None:
+                self.checker.on_injected_drop(self, packet)
+            if self.tracer is not None:
+                self.tracer.on_drop(self, packet, "link-down")
+            return False
         if self.drop_predicates:
             now = self.sim.now
             for predicate in self.drop_predicates:
@@ -191,6 +204,10 @@ class OutputPort:
 
     def _start_next(self) -> None:
         """Begin serializing the head-of-line packet (strict priority)."""
+        if self.admin_down:
+            # Queued packets stall until the link is admin-up again.
+            self.busy = False
+            return
         for queue in self._queues:
             if queue:
                 packet = queue.popleft()
@@ -218,6 +235,40 @@ class OutputPort:
         if self.forward is not None:
             self._schedule(self.prop_delay_ns, self.forward, packet)
         self._start_next()
+
+    # ------------------------------------------------------------------ #
+    # Runtime reconfiguration (the dynamic fault plane)
+    # ------------------------------------------------------------------ #
+
+    def set_rate(self, rate_bps: float) -> None:
+        """Change the link rate at the current instant.
+
+        Takes effect for the *next* packet to start serializing; the
+        packet already on the wire finishes at its old rate (its tx-done
+        event is committed).  The memoized serialization times are
+        recomputed lazily from the new exact integer ratio.
+        """
+        if rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_bps}")
+        if rate_bps == self.rate_bps:
+            return
+        self.rate_bps = rate_bps
+        self._rate_num, self._rate_den = rate_bps.as_integer_ratio()
+        self._tx_cache.clear()
+
+    def set_admin_down(self, down: bool) -> None:
+        """Take the link administratively down (or bring it back up).
+
+        Down: new arrivals are dropped (no carrier), already-queued
+        packets stall in place, and the packet currently serializing
+        drains normally — deterministic, no event cancellation.  Up:
+        transmission of the stalled backlog resumes immediately.
+        """
+        if down == self.admin_down:
+            return
+        self.admin_down = down
+        if not down and not self.busy:
+            self._start_next()
 
     # ------------------------------------------------------------------ #
     # DRE utilization estimator (CONGA §4; lazy exponential decay)
@@ -251,7 +302,7 @@ class OutputPort:
     @property
     def total_drops(self) -> int:
         """All losses at this port, injected failures included."""
-        return self.drops_overflow + self.drops_injected
+        return self.drops_overflow + self.drops_injected + self.drops_linkdown
 
     def utilization_since(self, start_ns: int, bytes_at_start: int) -> float:
         """Average utilization between ``start_ns`` and now."""

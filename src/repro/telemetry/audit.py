@@ -51,6 +51,7 @@ REASONS = (
 REC_DECISION = "decision"
 REC_PATH_CLASS = "path_class"
 REC_FAILURE = "failure"
+REC_FAULT = "fault"
 
 _CLASS_NAMES = {0: "good", 1: "gray", 2: "congested", 3: "failed"}
 
@@ -226,6 +227,23 @@ class DecisionAudit:
         )
 
     # ------------------------------------------------------------------ #
+    # Fault-plane hook (called from repro.faults.plane.FaultSchedule)
+    # ------------------------------------------------------------------ #
+
+    def on_fault(self, record: Any) -> None:
+        """A scheduled fault was applied or reverted.  Landing these in
+        the same log as path transitions lets ``path_events`` show the
+        network-level cause next to its sensed effect."""
+        self._append(
+            AuditRecord(
+                self.sim.now,
+                REC_FAULT,
+                reason=f"{record.action} {record.phase}",
+                detail={"target": record.target, **record.detail},
+            )
+        )
+
+    # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
 
@@ -249,14 +267,20 @@ class DecisionAudit:
     def path_events(
         self, dst_leaf: Optional[int] = None, path: Optional[int] = None
     ) -> List[AuditRecord]:
-        """Path-state transitions and failure overlays, optionally
-        filtered to one (destination leaf, path)."""
+        """Path-state transitions, failure overlays and scheduled fault
+        transitions, optionally filtered to one (destination leaf, path).
+        Fault records carry no (dst_leaf, path) and always pass a
+        filter — they are the network-level cause of whatever sensed
+        transitions surround them."""
         return [
             r
             for r in self._ring
-            if r.category in (REC_PATH_CLASS, REC_FAILURE)
-            and (dst_leaf is None or r.dst_leaf == dst_leaf)
-            and (path is None or r.path == path)
+            if (
+                r.category in (REC_PATH_CLASS, REC_FAILURE)
+                and (dst_leaf is None or r.dst_leaf == dst_leaf)
+                and (path is None or r.path == path)
+            )
+            or r.category == REC_FAULT
         ]
 
     def why_left(self, flow_id: int, path: int) -> List[AuditRecord]:

@@ -33,6 +33,7 @@ EV_FLOW_START = 4
 EV_FLOW_FINISH = 5
 EV_TIMEOUT = 6
 EV_RETRANSMIT = 7
+EV_FAULT = 8
 
 KIND_NAMES = {
     EV_SEND: "send",
@@ -43,6 +44,7 @@ KIND_NAMES = {
     EV_FLOW_FINISH: "flow_finish",
     EV_TIMEOUT: "timeout",
     EV_RETRANSMIT: "retx",
+    EV_FAULT: "fault",
 }
 
 #: Packet-movement kinds (subset dispatched from fabric/port hooks).
@@ -159,6 +161,10 @@ class TracerHooks:
 
     def on_retransmit(self, flow: "FlowBase", seq: int, path_id: int) -> None:
         """A segment was retransmitted; ``path_id`` carried the lost copy."""
+
+    def on_fault(self, record) -> None:
+        """The fault plane applied or reverted a scheduled fault
+        (``record``: a :class:`repro.faults.plane.FaultRecord`)."""
 
 
 class EventTracer(TracerHooks):
@@ -283,6 +289,17 @@ class EventTracer(TracerHooks):
                 dst=flow.dst,
                 seq=seq,
                 path_id=path_id,
+            )
+        )
+
+    def on_fault(self, record) -> None:
+        self._append(
+            TraceRecord(
+                self.sim.now,
+                EV_FAULT,
+                -1,
+                port=record.target,
+                note=f"{record.action} {record.phase}",
             )
         )
 

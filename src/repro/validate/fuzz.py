@@ -28,6 +28,19 @@ from typing import Callable, Iterable, Iterator, List, Optional
 
 from repro.experiments.config import ExperimentConfig, FailureSpec
 from repro.experiments.runner import run_experiment
+from repro.faults.spec import (
+    FaultScheduleSpec,
+    blackhole_off,
+    blackhole_on,
+    flap,
+    link_degrade,
+    link_down,
+    link_restore,
+    link_up,
+    random_drop_start,
+    random_drop_stop,
+    schedule,
+)
 from repro.net.topology import TopologyConfig
 from repro.validate.errors import InvariantViolation
 
@@ -58,17 +71,119 @@ _SIZE_SCALE = 0.03
 _EXTRA_DRAIN_NS = 50_000_000
 
 
-def chaos_command(seed: int) -> str:
+def chaos_command(seed: int, with_faults: Optional[bool] = None) -> str:
     """The exact CLI invocation replaying one chaos case."""
+    flag = " --faults" if with_faults else ""
     return (
-        f"python -m repro chaos --seed {seed}  "
+        f"python -m repro chaos --seed {seed}{flag}  "
         f"(or: REPRO_CHAOS_SEED={seed} pytest tests/chaos/test_chaos.py "
         f"-q -k replay)"
     )
 
 
-def chaos_config(seed: int) -> ExperimentConfig:
-    """Deterministically expand ``seed`` into one randomized scenario."""
+#: Fault-schedule shapes the chaos harness draws from (see
+#: :func:`_draw_fault_schedule`).  Each is a distinct stressor of the
+#: dynamic fault plane: a clean outage-and-heal, an outage healed before
+#: any detector can plausibly fire, capacity loss without loss of
+#: connectivity, a rapidly flapping link, a lossy spine window, and a
+#: silent per-pair blackhole window.
+_FAULT_SHAPES = (
+    "down_up",
+    "heal_before_detection",
+    "degrade_restore",
+    "rapid_flap",
+    "drop_burst",
+    "blackhole_window",
+)
+
+
+def _draw_fault_schedule(
+    rng: random.Random,
+    n_leaves: int,
+    n_spines: int,
+    overrides: dict,
+) -> FaultScheduleSpec:
+    """Draw one randomized fault schedule fitting the chaos envelope.
+
+    Times stay well inside the 50 ms drain cap so every revert fires
+    before the run's deadline; link targets skip links the topology
+    already cut statically (``override == 0.0`` — the fault plane
+    rejects scheduling on a nonexistent link, by design)."""
+    live_links = [
+        (leaf, spine)
+        for leaf in range(n_leaves)
+        for spine in range(n_spines)
+        if overrides.get((leaf, spine)) != 0.0
+    ]
+    leaf, spine = rng.choice(live_links)
+    start = rng.randrange(200_000, 5_000_000)  # 0.2–5 ms in
+    shape = rng.choice(_FAULT_SHAPES)
+    if shape == "down_up":
+        width = rng.randrange(500_000, 10_000_000)  # 0.5–10 ms outage
+        return schedule(
+            link_down(start, leaf=leaf, spine=spine),
+            link_up(start + width, leaf=leaf, spine=spine),
+        )
+    if shape == "heal_before_detection":
+        # Shorter than one scaled Hermes probe/sweep round: the link is
+        # healthy again before any detector could plausibly conclude
+        # failure.  Exercises transient-outage handling.
+        width = rng.randrange(5_000, 100_000)  # 5–100 µs blip
+        return schedule(
+            link_down(start, leaf=leaf, spine=spine),
+            link_up(start + width, leaf=leaf, spine=spine),
+        )
+    if shape == "degrade_restore":
+        width = rng.randrange(1_000_000, 15_000_000)
+        return schedule(
+            link_degrade(
+                start, leaf=leaf, spine=spine,
+                rate_gbps=rng.choice((1.0, 2.0, 5.0)),
+            ),
+            link_restore(start + width, leaf=leaf, spine=spine),
+        )
+    if shape == "rapid_flap":
+        period = rng.randrange(100_000, 600_000)  # 0.1–0.6 ms cycles
+        cycles = rng.randint(3, 12)
+        return schedule(
+            flap(
+                start, leaf=leaf, spine=spine, period_ns=period,
+                duty=rng.choice((0.3, 0.5, 0.7)),
+                until_ns=start + cycles * period,
+            )
+        )
+    if shape == "drop_burst":
+        width = rng.randrange(1_000_000, 15_000_000)
+        return schedule(
+            random_drop_start(
+                start, spine=spine, drop_rate=rng.choice((0.05, 0.15, 0.3))
+            ),
+            random_drop_stop(start + width, spine=spine),
+        )
+    # blackhole_window: silent loss between two racks through one spine.
+    width = rng.randrange(1_000_000, 15_000_000)
+    src = rng.randrange(n_leaves)
+    dst = rng.choice([l for l in range(n_leaves) if l != src])
+    return schedule(
+        blackhole_on(
+            start, spine=spine, src_leaf=src, dst_leaf=dst,
+            fraction=rng.choice((0.5, 1.0)),
+        ),
+        blackhole_off(start + width, spine=spine),
+    )
+
+
+def chaos_config(seed: int, with_faults: Optional[bool] = None) -> ExperimentConfig:
+    """Deterministically expand ``seed`` into one randomized scenario.
+
+    Args:
+        seed: the case seed.
+        with_faults: ``True`` always attaches a randomized time-scheduled
+            fault schedule, ``False`` never does, ``None`` (default)
+            attaches one with probability ~0.45.  The schedule draw is
+            part of the same seeded stream, so ``(seed, with_faults)``
+            fully determines the scenario.
+    """
     rng = random.Random(f"repro-chaos-{seed}")
     n_leaves = rng.randint(2, 3)
     n_spines = rng.randint(2, 3)
@@ -115,18 +230,36 @@ def chaos_config(seed: int) -> ExperimentConfig:
                 pair_fraction=0.5,
             )
 
+    transport = "tcp" if rng.random() < 0.25 else "dctcp"
+    workload = rng.choice(("web-search", "data-mining"))
+    load = round(rng.uniform(0.3, 0.8), 2)
+    n_flows = rng.randint(10, 40)
+
+    # Drawn last so the base scenario is identical with and without a
+    # fault schedule — a faulted case differs from its unfaulted twin
+    # only by the schedule itself.
+    faults: Optional[FaultScheduleSpec] = None
+    if with_faults is None:
+        with_faults = rng.random() < 0.45
+    if with_faults:
+        faults = _draw_fault_schedule(
+            random.Random(f"repro-chaos-faults-{seed}"),
+            n_leaves, n_spines, overrides,
+        )
+
     return ExperimentConfig(
         topology=topology,
         lb=lb,
-        transport="tcp" if rng.random() < 0.25 else "dctcp",
-        workload=rng.choice(("web-search", "data-mining")),
-        load=round(rng.uniform(0.3, 0.8), 2),
-        n_flows=rng.randint(10, 40),
+        transport=transport,
+        workload=workload,
+        load=load,
+        n_flows=n_flows,
         seed=seed,
         size_scale=_SIZE_SCALE,
         time_scale=_SIZE_SCALE,
         reorder_mask_us=100.0 if lb in ("presto", "drb") else None,
         failure=failure,
+        faults=faults,
         extra_drain_ns=_EXTRA_DRAIN_NS,
         validate=True,
     )
@@ -153,6 +286,7 @@ def run_case(
     seed: int,
     config: Optional[ExperimentConfig] = None,
     raise_error: bool = True,
+    with_faults: Optional[bool] = None,
 ) -> CaseResult:
     """Run one chaos case under full invariant checking.
 
@@ -161,15 +295,17 @@ def run_case(
         config: pre-built config (defaults to ``chaos_config(seed)``).
         raise_error: re-raise violations (default); ``False`` returns
             them in the :class:`CaseResult` for sweep-style reporting.
+        with_faults: forwarded to :func:`chaos_config` (ignored when
+            ``config`` is given).
     """
     if config is None:
-        config = chaos_config(seed)
+        config = chaos_config(seed, with_faults=with_faults)
     try:
         result = run_experiment(config)
     except InvariantViolation as exc:
         # Stamp the chaos replay command over the generic run command:
         # the randomized topology is only reachable through the seed.
-        exc.fingerprint.command = chaos_command(seed)
+        exc.fingerprint.command = chaos_command(seed, with_faults=with_faults)
         amended = type(exc)(exc.detail, exc.fingerprint)
         if raise_error:
             raise amended from exc
@@ -193,9 +329,16 @@ def run_case(
     )
 
 
-def run_sweep(seeds: Iterable[int], raise_error: bool = False) -> List[CaseResult]:
+def run_sweep(
+    seeds: Iterable[int],
+    raise_error: bool = False,
+    with_faults: Optional[bool] = None,
+) -> List[CaseResult]:
     """Run a batch of chaos cases; violations are collected, not raised."""
-    return [run_case(seed, raise_error=raise_error) for seed in seeds]
+    return [
+        run_case(seed, raise_error=raise_error, with_faults=with_faults)
+        for seed in seeds
+    ]
 
 
 # --------------------------------------------------------------------- #
@@ -215,6 +358,8 @@ def _reductions(config: ExperimentConfig) -> Iterator[ExperimentConfig]:
     """Candidate simplifications, most drastic first.  Each candidate is
     a fresh config; the caller keeps it only if it still fails."""
     topo = config.topology
+    if config.faults is not None:
+        yield replace(config, faults=None)
     if config.failure is not None:
         yield replace(config, failure=None)
     if config.n_flows > 2:

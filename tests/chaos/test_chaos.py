@@ -178,3 +178,71 @@ def test_mutation_violation_shrinks_to_minimal_config():
     assert shrunk.config.n_flows < start.n_flows
     # The shrunken config must still fail on its own.
     assert probe(shrunk.config) is not None
+
+
+# --------------------------------------------------------------------- #
+# Dynamic fault schedules under chaos
+# --------------------------------------------------------------------- #
+
+#: Smoke slice of the faulted sweep; CI runs the full >= 50-seed sweep
+#: via ``python -m repro chaos --faults``.
+FAULTED_SMOKE_SEEDS = list(range(1, 13))
+
+
+@pytest.mark.parametrize("seed", FAULTED_SMOKE_SEEDS)
+def test_chaos_with_fault_schedule_holds_invariants(seed):
+    case = run_case(seed, with_faults=True)
+    assert case.ok
+    assert case.config.faults is not None
+    assert case.invariants is not None
+    assert case.invariants["violations"] == 0
+
+
+def test_faulted_case_is_deterministic():
+    first = run_case(4, with_faults=True)
+    second = run_case(4, with_faults=True)
+    assert first.events == second.events
+    assert first.mean_fct_ms == second.mean_fct_ms
+    assert first.invariants == second.invariants
+
+
+def test_forcing_faults_keeps_base_scenario():
+    """with_faults only adds the schedule: topology, scheme, workload and
+    flow count are untouched, so a faulted case diffs cleanly against
+    its unfaulted twin."""
+    from dataclasses import replace
+
+    plain = chaos_config(6, with_faults=False)
+    faulted = chaos_config(6, with_faults=True)
+    assert plain.faults is None
+    assert faulted.faults is not None
+    assert replace(faulted, faults=None) == plain
+
+
+def test_fault_draw_covers_shapes_and_avoids_cut_links():
+    configs = [
+        chaos_config(seed, with_faults=True) for seed in range(1, 57)
+    ]
+    actions = {c.faults.events[0].action for c in configs}
+    # Every shape family must appear across the sweep.
+    assert {"link_down", "link_degrade", "flap",
+            "random_drop_start", "blackhole_on"} <= actions
+    for config in configs:
+        cut = {
+            link for link, rate in config.topology.link_overrides.items()
+            if rate == 0.0
+        }
+        for event in config.faults.events:
+            if event.action in ("link_down", "link_degrade", "flap"):
+                assert (event.leaf, event.spine) not in cut, (
+                    f"schedule targets statically cut link in {config}"
+                )
+
+
+def test_shrinking_drops_fault_schedule_first():
+    from repro.validate.fuzz import _reductions
+
+    config = chaos_config(1, with_faults=True)
+    first = next(_reductions(config))
+    assert first.faults is None
+    assert first.failure == config.failure

@@ -8,6 +8,7 @@ config change means a different key), and cross-process RNG independence
 """
 
 import dataclasses
+import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 
@@ -18,11 +19,13 @@ from repro.experiments.config import ExperimentConfig, FailureSpec
 from repro.experiments.parallel import (
     ResultCache,
     ResultSummary,
+    cell_timeout,
     config_key,
     resolve_jobs,
     run_cell,
     run_cells,
 )
+from repro.faults.spec import link_down, link_up, schedule
 from repro.experiments.runner import run_experiment
 from repro.experiments.scenarios import bench_topology
 from repro.sim.rng import RngStreams
@@ -176,6 +179,12 @@ class TestCacheKey:
             {"visibility_sampling": True},
             {"failure": FailureSpec(kind="random_drop", drop_rate=0.01)},
             {
+                "faults": schedule(
+                    link_down(1_000_000, leaf=0, spine=0),
+                    link_up(2_000_000, leaf=0, spine=0),
+                )
+            },
+            {
                 "topology": bench_topology(
                     n_leaves=2, n_spines=2, hosts_per_leaf=3
                 )
@@ -231,3 +240,99 @@ class TestResolveJobs:
     def test_zero_rejected(self):
         with pytest.raises(ValueError):
             resolve_jobs(0)
+
+
+class TestCellTimeoutParsing:
+    def test_unset_means_no_budget(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CELL_TIMEOUT", raising=False)
+        assert cell_timeout() is None
+
+    def test_seconds_parsed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CELL_TIMEOUT", "2.5")
+        assert cell_timeout() == 2.5
+
+    @pytest.mark.parametrize("bad", ["soon", "-1", "0"])
+    def test_garbage_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_CELL_TIMEOUT", bad)
+        with pytest.raises(ValueError):
+            cell_timeout()
+
+
+class TestCrashTolerance:
+    """A worker dying mid-cell (simulated with the ``REPRO_TEST_*``
+    hooks, which only fire inside pool workers) must cost the grid
+    nothing: the pool restarts, the poisoned cells re-run serially
+    in-process, and every result matches a plain serial run."""
+
+    def test_worker_crash_reruns_cell(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_CRASH_SEED", "2")
+        grid = tiny_grid()  # two cells carry seed 2 and kill their worker
+        results = run_cells(grid, jobs=2, use_cache=False)
+        assert all(r.error is None for r in results)
+        monkeypatch.delenv("REPRO_TEST_CRASH_SEED")
+        serial = run_cells(grid, jobs=1, use_cache=False)
+        assert all(map(_summaries_equal, results, serial))
+
+    def test_hung_cell_marked_failed_with_reason(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_SLEEP", "2:30")
+        monkeypatch.setenv("REPRO_CELL_TIMEOUT", "2")
+        configs = [tiny_config(seed=seed) for seed in (1, 2, 3)]
+        results = run_cells(configs, jobs=2, use_cache=False)
+        assert results[1].error is not None
+        assert "REPRO_CELL_TIMEOUT=2" in results[1].error
+        assert results[1].stats.records == []
+        for healthy in (results[0], results[2]):
+            assert healthy.error is None
+            assert healthy.stats.records
+
+    def test_failed_cells_never_cached(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TEST_SLEEP", "2:30")
+        monkeypatch.setenv("REPRO_CELL_TIMEOUT", "2")
+        configs = [tiny_config(seed=seed) for seed in (1, 2, 3)]
+        run_cells(configs, jobs=2, cache_dir=str(tmp_path))
+        cache = ResultCache(str(tmp_path))
+        assert cache.size() == 2
+        assert cache.get(configs[1]) is None
+
+
+class TestCacheSelfHealing:
+    def _poison(self, cache, config):
+        path = cache._path(config_key(config))
+        with open(path, "wb") as fh:
+            fh.write(b"not a pickle")
+        return path
+
+    def test_corrupt_entry_deleted_and_counted(self, tmp_path):
+        config = tiny_config()
+        cache = ResultCache(str(tmp_path))
+        run_cell(config, cache_dir=str(tmp_path))
+        path = self._poison(cache, config)
+        assert cache.get(config) is None  # decode failure -> miss
+        assert not os.path.exists(path), "corrupt entry must be evicted"
+        assert cache.corruption_count() == 1
+        # The next lookup is a clean miss, not another decode failure.
+        assert cache.get(config) is None
+        assert cache.corruption_count() == 1
+
+    def test_healed_entry_recaches(self, tmp_path):
+        config = tiny_config()
+        cache = ResultCache(str(tmp_path))
+        cold = run_cell(config, cache_dir=str(tmp_path))
+        self._poison(cache, config)
+        again = run_cell(config, cache_dir=str(tmp_path))  # heals + refills
+        assert _summaries_equal(cold, again)
+        assert cache.corruption_count() == 1
+        assert cache.get(config) is not None
+
+    def test_clear_resets_corruption_ledger(self, tmp_path):
+        config = tiny_config()
+        cache = ResultCache(str(tmp_path))
+        run_cell(config, cache_dir=str(tmp_path))
+        self._poison(cache, config)
+        cache.get(config)
+        assert cache.corruption_count() == 1
+        cache.clear()
+        assert cache.corruption_count() == 0
+
+    def test_fresh_directory_counts_zero(self, tmp_path):
+        assert ResultCache(str(tmp_path)).corruption_count() == 0
