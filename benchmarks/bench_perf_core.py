@@ -12,7 +12,10 @@ measurements over one (scheme x load x seed) grid:
 4. **traced** — the serial grid re-run with ``trace=True``
    (:mod:`repro.telemetry` fully attached), to record what observability
    costs when it is ON — and, by comparing phase 1 against the seed,
-   that the dormant hooks cost nothing when it is OFF.
+   that the dormant hooks cost nothing when it is OFF;
+5. **wheel** — the serial grid re-run with ``scheduler="wheel"`` (the
+   calendar-queue engine), asserting bit-identical per-flow records and
+   recording ``events_per_sec_wheel`` + the heap→wheel speedup ratio.
 
 It also asserts that the parallel run's per-flow records are
 bit-identical to the serial run's — the determinism contract, checked on
@@ -141,6 +144,22 @@ def measure(
         )
     traced_wall = time.perf_counter() - traced_start
 
+    # Phase 5: the same serial grid on the calendar-queue engine.  The
+    # wheel must reproduce the heap's records bit-for-bit (the scheduler
+    # equivalence contract); the throughput ratio is the payoff.
+    wheel_events = 0
+    wheel_start = time.perf_counter()
+    for config, heap_result in zip(configs, serial_results):
+        wheel = run_experiment(dataclasses.replace(config, scheduler="wheel"))
+        wheel_events += wheel.events
+        assert wheel.stats.records == heap_result.stats.records, (
+            "wheel scheduler diverged from heap scheduler"
+        )
+        assert wheel.events == heap_result.events, (
+            "wheel scheduler fired a different event count"
+        )
+    wheel_wall = time.perf_counter() - wheel_start
+
     return {
         "code_version": code_version(),
         "grid_cells": len(configs),
@@ -160,6 +179,9 @@ def measure(
         "events_per_sec_traced": round(traced_events / traced_wall, 1),
         "traced_wall_s": round(traced_wall, 3),
         "tracing_overhead_x": round(traced_wall / serial_wall, 3),
+        "events_per_sec_wheel": round(wheel_events / wheel_wall, 1),
+        "wheel_wall_s": round(wheel_wall, 3),
+        "wheel_speedup_x": round(serial_wall / wheel_wall, 3),
     }
 
 
@@ -176,6 +198,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="tiny 4-cell grid for CI")
     parser.add_argument("--out", default=DEFAULT_OUT,
                         help="where to write the JSON report")
+    parser.add_argument("--min-wheel-speedup", type=float, default=None,
+                        help="fail (exit 1) if the wheel engine's "
+                             "speedup over the heap falls below this "
+                             "ratio (CI uses 0.95 as a regression gate)")
     args = parser.parse_args(argv)
 
     schemes = SMOKE_SCHEMES if args.smoke else SCHEMES
@@ -194,6 +220,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         fh.write("\n")
     print(json.dumps(report, indent=2, sort_keys=True))
     print(f"\nwritten to {out}")
+    if (
+        args.min_wheel_speedup is not None
+        and report["wheel_speedup_x"] < args.min_wheel_speedup
+    ):
+        print(
+            f"FAIL: wheel speedup {report['wheel_speedup_x']}x < "
+            f"required {args.min_wheel_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -204,6 +240,7 @@ def test_perf_core_smoke(tmp_path):
     report = json.loads(out.read_text())
     assert report["grid_cells"] == 4
     assert report["events_per_sec"] > 0
+    assert report["events_per_sec_wheel"] > 0
     # A warm rerun must come from the cache, far faster than simulating.
     assert report["warm_cache_fraction_of_cold"] < 0.5
 

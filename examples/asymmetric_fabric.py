@@ -12,7 +12,7 @@ congestion mismatch.
 Run:  python examples/asymmetric_fabric.py
 """
 
-from repro import ExperimentConfig, bench_topology, format_table, run_experiment
+from repro.api import ExperimentConfig, bench_topology, format_table, run_experiment
 
 SCHEMES = [
     "ecmp",

@@ -10,9 +10,14 @@ this library.
 Run:  python examples/custom_load_balancer.py
 """
 
-from repro import ExperimentConfig, bench_topology, format_table, run_experiment
-from repro.lb.base import LoadBalancer
-from repro.lb.factory import LB_REGISTRY
+from repro.api import (
+    LB_REGISTRY,
+    ExperimentConfig,
+    LoadBalancer,
+    bench_topology,
+    format_table,
+    run_experiment,
+)
 
 
 class LeastQueueAtStartLB(LoadBalancer):

@@ -10,13 +10,17 @@ reports burst completion time and the receiver downlink's peak queue.
 Run:  python examples/incast_study.py
 """
 
-from repro import RngStreams, TopologyConfig, format_table
-from repro.lb.factory import install_lb
-from repro.metrics.collector import QueueSampler
-from repro.net.fabric import Fabric
-from repro.sim.engine import Simulator
-from repro.transport.dctcp import DctcpFlow
-from repro.workload.patterns import incast
+from repro.api import (
+    Fabric,
+    QueueSampler,
+    RngStreams,
+    TopologyConfig,
+    format_table,
+    incast,
+    install_lb,
+    DctcpFlow,
+    make_simulator,
+)
 
 FLOW_BYTES = 256_000
 N_SENDERS = 12
@@ -28,7 +32,7 @@ def run_scheme(scheme: str):
         host_link_gbps=10.0, spine_link_gbps=10.0,
         prop_delay_ns=1_000, ecn_threshold_bytes=97_500,
     )
-    fabric = Fabric(Simulator(), config, RngStreams(11))
+    fabric = Fabric(make_simulator(), config, RngStreams(11))
     install_lb(fabric, scheme)
     target = 0
     arrivals = incast(

@@ -8,7 +8,7 @@ time statistics for both schemes.
 Run:  python examples/quickstart.py
 """
 
-from repro import ExperimentConfig, bench_topology, format_table, run_experiment
+from repro.api import ExperimentConfig, bench_topology, format_table, run_experiment
 
 
 def main() -> None:

@@ -12,7 +12,7 @@ Injects the two Microsoft-reported switch malfunctions the paper studies
 Run:  python examples/switch_failure_drill.py
 """
 
-from repro import (
+from repro.api import (
     ExperimentConfig,
     FailureSpec,
     bench_topology,

@@ -2,9 +2,11 @@
 Wild" (Hermes, SIGCOMM 2017).
 
 A packet-level discrete-event datacenter simulator plus the Hermes load
-balancer and every baseline the paper compares against.  Quick start::
+balancer and every baseline the paper compares against.  The stable
+public surface lives in :mod:`repro.api` (re-exported here).  Quick
+start::
 
-    from repro import ExperimentConfig, run_experiment, bench_topology
+    from repro.api import ExperimentConfig, run_experiment, bench_topology
 
     result = run_experiment(
         ExperimentConfig(
@@ -22,7 +24,14 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
 
+from repro.api import (
+    ResultSummary,
+    load_result,
+    run_grid,
+    save_result,
+)
 from repro.core import HermesParams, HermesLB, probe_overhead_model
+from repro.hooks import HookSet
 from repro.experiments import (
     ExperimentConfig,
     ExperimentResult,
@@ -53,6 +62,11 @@ __all__ = [
     "ExperimentResult",
     "FailureSpec",
     "run_experiment",
+    "run_grid",
+    "ResultSummary",
+    "save_result",
+    "load_result",
+    "HookSet",
     "format_table",
     "testbed_topology",
     "simulation_topology",

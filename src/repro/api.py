@@ -1,0 +1,228 @@
+"""repro.api — the stable public facade.
+
+Everything an external caller (examples, notebooks, downstream tooling)
+needs, in one import, with compatibility guarantees the internal modules
+don't make::
+
+    from repro.api import ExperimentConfig, bench_topology, run_experiment
+
+    result = run_experiment(
+        ExperimentConfig(topology=bench_topology(), lb="hermes", load=0.5)
+    )
+    print(result.mean_fct_ms, "ms")
+
+The surface:
+
+* :class:`ExperimentConfig` / :class:`TopologyConfig` /
+  :class:`FailureSpec` — declarative run description, JSON round-trip
+  via ``ExperimentConfig.to_dict()`` / ``ExperimentConfig.from_dict()``;
+* :func:`run_experiment` — one config → one
+  :class:`~repro.experiments.runner.ExperimentResult`, in-process;
+* :func:`run_grid` — many configs → :class:`ResultSummary` list, with
+  process-pool fan-out and the on-disk result cache;
+* :func:`save_result` / :func:`load_result` — persist a run's summary +
+  per-flow records to JSON and get an equivalent :class:`ResultSummary`
+  back (config round-tripped through ``from_dict``);
+* topology builders (:func:`bench_topology`, :func:`testbed_topology`,
+  :func:`simulation_topology`, :func:`asymmetric_overrides`) matching
+  the paper's setups.
+
+Internal layers (``repro.sim``, ``repro.net``, ``repro.telemetry``, ...)
+remain importable but may reshuffle between releases; this module is the
+contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, IO, List, Optional, Sequence, Union
+
+from repro.experiments.config import ExperimentConfig, FailureSpec
+from repro.experiments.export import (
+    summary_dict,
+    write_flow_csv,
+    write_summary_json,
+)
+from repro.experiments.parallel import (
+    ResultSummary,
+    grid_configs,
+    grid_results,
+    run_cells,
+)
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.scenarios import (
+    asymmetric_overrides,
+    bench_topology,
+    simulation_topology,
+    testbed_topology,
+)
+from repro.experiments.report import format_table
+from repro.faults.spec import FaultEventSpec, FaultScheduleSpec
+from repro.hooks import HookSet
+from repro.lb.base import LoadBalancer
+from repro.lb.factory import LB_REGISTRY, install_lb
+from repro.metrics.fct import FctStats, FlowRecord
+from repro.net.fabric import Fabric
+from repro.net.topology import TopologyConfig
+from repro.sim.engine import (
+    SCHEDULERS,
+    Simulator,
+    WheelSimulator,
+    make_simulator,
+)
+from repro.sim.rng import RngStreams
+from repro.telemetry.series import QueueSampler
+from repro.transport.dctcp import DctcpFlow
+from repro.transport.tcp import TcpFlow
+from repro.workload.patterns import incast, permutation, staggered_elephants
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ResultSummary",
+    "TopologyConfig",
+    "FailureSpec",
+    "FaultScheduleSpec",
+    "FaultEventSpec",
+    "FctStats",
+    "FlowRecord",
+    "run_experiment",
+    "run_grid",
+    "save_result",
+    "load_result",
+    "summary_dict",
+    "write_flow_csv",
+    "write_summary_json",
+    "grid_configs",
+    "grid_results",
+    "bench_topology",
+    "testbed_topology",
+    "simulation_topology",
+    "asymmetric_overrides",
+    "format_table",
+    # Extension surface: build custom harnesses and schemes on these.
+    "LoadBalancer",
+    "LB_REGISTRY",
+    "install_lb",
+    "Fabric",
+    "Simulator",
+    "WheelSimulator",
+    "SCHEDULERS",
+    "make_simulator",
+    "RngStreams",
+    "HookSet",
+    "QueueSampler",
+    "DctcpFlow",
+    "TcpFlow",
+    "incast",
+    "permutation",
+    "staggered_elephants",
+]
+
+
+def run_grid(
+    configs: Sequence[ExperimentConfig],
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
+) -> List[ResultSummary]:
+    """Run many experiment cells, fanning out over worker processes.
+
+    Results are bit-identical to running each config serially through
+    :func:`run_experiment` (asserted by the test suite); finished cells
+    are served from the on-disk result cache when enabled.
+
+    Args:
+        configs: the grid cells, in the order results are returned.
+        jobs: worker processes (default: ``REPRO_JOBS`` or the CPU
+            count); ``1`` runs everything in-process.
+        use_cache: override the ``REPRO_CACHE`` switch.
+        cache_dir: override the cache location (``REPRO_CACHE_DIR``).
+    """
+    return run_cells(configs, jobs=jobs, use_cache=use_cache, cache_dir=cache_dir)
+
+
+#: save_result file format version (bumped on incompatible change).
+_RESULT_FORMAT = 1
+
+
+def save_result(
+    result: Union[ExperimentResult, ResultSummary],
+    path_or_stream: Union[str, "os.PathLike[str]", IO[str]],
+) -> None:
+    """Persist one run to JSON: full config (``to_dict``), per-flow
+    records, and the run totals.  :func:`load_result` restores it as a
+    :class:`ResultSummary`."""
+    doc = {
+        "format": _RESULT_FORMAT,
+        "config": result.config.to_dict(),
+        "records": [
+            {
+                "flow_id": r.flow_id,
+                "src": r.src,
+                "dst": r.dst,
+                "size_bytes": r.size_bytes,
+                "start_ns": r.start_ns,
+                "fct_ns": r.fct_ns,
+                "retransmissions": r.retransmissions,
+                "timeouts": r.timeouts,
+            }
+            for r in result.stats.records
+        ],
+        "small_bytes": result.stats.small_bytes,
+        "large_bytes": result.stats.large_bytes,
+        "sim_time_ns": result.sim_time_ns,
+        "events": result.events,
+        "total_reroutes": result.total_reroutes,
+        "visibility_switch_pair": result.visibility_switch_pair,
+        "visibility_host_pair": result.visibility_host_pair,
+        "fault_timeline": list(result.fault_timeline),
+        "detection_ns": result.detection_ns,
+        "recovery_ns": result.recovery_ns,
+        "unrecovered_timeouts": result.unrecovered_timeouts,
+    }
+    if hasattr(path_or_stream, "write"):
+        json.dump(doc, path_or_stream, indent=2, sort_keys=True)
+        path_or_stream.write("\n")
+    else:
+        with open(path_or_stream, "w", encoding="utf-8") as stream:
+            json.dump(doc, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+
+
+def load_result(
+    path_or_stream: Union[str, "os.PathLike[str]", IO[str]],
+) -> ResultSummary:
+    """Load a :func:`save_result` file back into a :class:`ResultSummary`
+    (same stats/query surface as a fresh run; no live fabric)."""
+    if hasattr(path_or_stream, "read"):
+        doc = json.load(path_or_stream)
+    else:
+        with open(path_or_stream, "r", encoding="utf-8") as stream:
+            doc = json.load(stream)
+    version = doc.get("format")
+    if version != _RESULT_FORMAT:
+        raise ValueError(
+            f"unsupported result file format {version!r} "
+            f"(this build reads format {_RESULT_FORMAT})"
+        )
+    records = [FlowRecord(**record) for record in doc["records"]]
+    stats = FctStats(
+        records,
+        small_bytes=doc["small_bytes"],
+        large_bytes=doc["large_bytes"],
+    )
+    return ResultSummary(
+        config=ExperimentConfig.from_dict(doc["config"]),
+        stats=stats,
+        sim_time_ns=doc["sim_time_ns"],
+        events=doc["events"],
+        total_reroutes=doc["total_reroutes"],
+        visibility_switch_pair=doc.get("visibility_switch_pair"),
+        visibility_host_pair=doc.get("visibility_host_pair"),
+        fault_timeline=tuple(doc.get("fault_timeline", ())),
+        detection_ns=doc.get("detection_ns"),
+        recovery_ns=doc.get("recovery_ns"),
+        unrecovered_timeouts=doc.get("unrecovered_timeouts", 0),
+    )

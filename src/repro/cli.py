@@ -46,7 +46,40 @@ def _positive_int(value: str) -> int:
     return parsed
 
 
+def _common_parser() -> argparse.ArgumentParser:
+    """The flags every subcommand shares, as one argparse parent.
+
+    ``repro run/compare/chaos/golden/trace/cache`` all accept these; each
+    subcommand consumes what applies to it (e.g. ``--trace`` is implied
+    by ``trace run``, and ``cache`` uses none of the run-shape flags).
+    """
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--scheduler", choices=["heap", "wheel"],
+                        default=None,
+                        help="event-queue engine (default: the config's, "
+                             "normally heap; results are bit-identical, "
+                             "wheel is faster; $REPRO_SCHEDULER overrides "
+                             "everything)")
+    common.add_argument("--jobs", type=_positive_int, default=None,
+                        help="worker processes for multi-cell runs "
+                             "(default: $REPRO_JOBS, else all cores); "
+                             "1 = in-process")
+    common.add_argument("--validate", action="store_true",
+                        help="run under the repro.validate invariant "
+                             "layer (conservation, FIFO, clock, ECN, "
+                             "path-state checks)")
+    common.add_argument("--trace", action="store_true",
+                        help="attach the repro.telemetry layer "
+                             "(structured tracer, decision audit, loop "
+                             "profiler) to every run")
+    common.add_argument("--no-cache", action="store_true",
+                        help="skip the on-disk result cache")
+    return common
+
+
 def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    """Experiment-shape flags (what to run; the shared parent carries
+    how to run it)."""
     parser.add_argument("--topology", choices=sorted(TOPOLOGIES), default="bench")
     parser.add_argument("--asymmetric", action="store_true")
     parser.add_argument("--workload", default="web-search",
@@ -67,19 +100,32 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
                              "link_up@20ms:leaf=0,spine=1' or "
                              "'flap@2ms:leaf=0,spine=0,period=4ms,"
                              "duty=0.5,until=30ms' (times in ns/us/ms/s)")
-    parser.add_argument("--jobs", type=_positive_int, default=None,
-                        help="worker processes for multi-cell runs "
-                             "(default: $REPRO_JOBS, else all cores); "
-                             "1 = in-process")
-    parser.add_argument("--no-cache", action="store_true",
-                        help="skip the on-disk result cache")
-    parser.add_argument("--validate", action="store_true",
-                        help="run under the repro.validate invariant "
-                             "layer (conservation, FIFO, clock, ECN, "
-                             "path-state checks)")
+
+
+def _apply_common(config: ExperimentConfig, args) -> ExperimentConfig:
+    """Overlay the shared flags (--scheduler/--validate/--trace) onto a
+    config, e.g. one loaded from ``--config file.json``."""
+    import dataclasses
+
+    updates = {}
+    if getattr(args, "scheduler", None):
+        updates["scheduler"] = args.scheduler
+    if getattr(args, "validate", False):
+        updates["validate"] = True
+    if getattr(args, "trace", False):
+        updates["trace"] = True
+    return dataclasses.replace(config, **updates) if updates else config
 
 
 def _config_from_args(args, lb: str) -> ExperimentConfig:
+    if getattr(args, "config", None):
+        # --config FILE is the full experiment spec (the to_dict()
+        # round-trip); shape flags are ignored, shared flags overlay.
+        import json
+
+        with open(args.config) as fh:
+            loaded = ExperimentConfig.from_dict(json.load(fh))
+        return _apply_common(loaded, args)
     topology = TOPOLOGIES[args.topology](asymmetric=args.asymmetric)
     failure = None
     if args.failure:
@@ -96,7 +142,7 @@ def _config_from_args(args, lb: str) -> ExperimentConfig:
         extra["reorder_mask_us"] = (
             800.0 if topology.host_link_gbps <= 2.0 else 100.0
         )
-    return ExperimentConfig(
+    config = ExperimentConfig(
         topology=topology,
         lb=lb,
         transport=args.transport,
@@ -108,9 +154,9 @@ def _config_from_args(args, lb: str) -> ExperimentConfig:
         time_scale=time_scale,
         failure=failure,
         faults=faults,
-        validate=args.validate,
         **extra,
     )
+    return _apply_common(config, args)
 
 
 def _result_row(lb: str, result: ResultSummary) -> List:
@@ -166,15 +212,17 @@ def _print_cell_errors(pairs: List) -> int:
 
 
 def cmd_run(args) -> int:
+    config = _config_from_args(args, args.lb)
     result = run_cells(
-        [_config_from_args(args, args.lb)],
+        [config],
         jobs=1,
         use_cache=False if args.no_cache else None,
     )[0]
-    print(format_table(RESULT_HEADERS, [_result_row(args.lb, result)]))
+    lb = config.lb  # may come from --config, not --lb
+    print(format_table(RESULT_HEADERS, [_result_row(lb, result)]))
     if result.fault_timeline:
-        _print_fault_report([(args.lb, result)])
-    if _print_cell_errors([(args.lb, result)]):
+        _print_fault_report([(lb, result)])
+    if _print_cell_errors([(lb, result)]):
         return 1
     return 0
 
@@ -219,7 +267,10 @@ def cmd_chaos(args) -> int:
         # Single-case replay: the command every violation fingerprint
         # points back to.
         case = run_case(
-            args.seed, raise_error=not args.shrink, with_faults=with_faults
+            args.seed,
+            raise_error=not args.shrink,
+            with_faults=with_faults,
+            scheduler=args.scheduler,
         )
         if case.ok:
             inv = case.invariants or {}
@@ -241,7 +292,9 @@ def cmd_chaos(args) -> int:
         return 1
 
     seeds = range(args.base_seed, args.base_seed + args.cases)
-    results = run_sweep(seeds, with_faults=with_faults)
+    results = run_sweep(
+        seeds, with_faults=with_faults, scheduler=args.scheduler
+    )
     failures = [case for case in results if not case.ok]
     rows = [
         [
@@ -274,7 +327,7 @@ def cmd_golden(args) -> int:
     from repro.validate import golden
 
     path = args.path or golden.DEFAULT_PATH
-    actual = golden.compute_reference()
+    actual = golden.compute_reference(scheduler=args.scheduler)
     if args.refresh:
         golden.write_reference(actual, path)
         print(f"golden reference written to {path}")
@@ -437,13 +490,21 @@ def build_parser() -> argparse.ArgumentParser:
         description="Hermes (SIGCOMM 2017) reproduction toolkit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    common = _common_parser()
 
-    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser = sub.add_parser("run", help="run one experiment",
+                                parents=[common])
     run_parser.add_argument("--lb", default="hermes")
+    run_parser.add_argument("--config", default=None, metavar="FILE",
+                            help="load the full experiment spec from a "
+                                 "JSON file (ExperimentConfig.to_dict "
+                                 "format); shape flags are ignored, "
+                                 "shared flags still apply")
     _add_run_arguments(run_parser)
     run_parser.set_defaults(fn=cmd_run)
 
-    compare_parser = sub.add_parser("compare", help="race several schemes")
+    compare_parser = sub.add_parser("compare", help="race several schemes",
+                                    parents=[common])
     compare_parser.add_argument("--schemes", default="ecmp,conga,hermes")
     _add_run_arguments(compare_parser)
     compare_parser.set_defaults(fn=cmd_compare)
@@ -459,7 +520,8 @@ def build_parser() -> argparse.ArgumentParser:
     probe_parser.set_defaults(fn=cmd_probe_model)
 
     cache_parser = sub.add_parser(
-        "cache", help="inspect or clear the experiment result cache"
+        "cache", help="inspect or clear the experiment result cache",
+        parents=[common],
     )
     cache_parser.add_argument("--clear", action="store_true",
                               help="delete all cached results")
@@ -468,6 +530,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser = sub.add_parser(
         "chaos",
         help="run seeded chaos scenarios under full invariant checking",
+        parents=[common],
     )
     chaos_parser.add_argument("--seed", type=int, default=None,
                               help="replay a single case by seed")
@@ -486,6 +549,7 @@ def build_parser() -> argparse.ArgumentParser:
     golden_parser = sub.add_parser(
         "golden",
         help="check (or refresh) the golden reference-grid statistics",
+        parents=[common],
     )
     golden_parser.add_argument("--refresh", action="store_true",
                                help="recompute and overwrite the "
@@ -502,7 +566,8 @@ def build_parser() -> argparse.ArgumentParser:
     trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
 
     trace_run = trace_sub.add_parser(
-        "run", help="run one cell with tracing on, write a trace directory"
+        "run", help="run one cell with tracing on, write a trace directory",
+        parents=[common],
     )
     trace_run.add_argument("--lb", default="hermes")
     _add_run_arguments(trace_run)
@@ -513,7 +578,8 @@ def build_parser() -> argparse.ArgumentParser:
     trace_run.set_defaults(fn=cmd_trace_run)
 
     trace_summarize = trace_sub.add_parser(
-        "summarize", help="aggregate an existing trace directory"
+        "summarize", help="aggregate an existing trace directory",
+        parents=[common],
     )
     trace_summarize.add_argument("--dir", default="trace-out")
     trace_summarize.add_argument("--flow", type=int, default=None,
@@ -521,7 +587,8 @@ def build_parser() -> argparse.ArgumentParser:
     trace_summarize.set_defaults(fn=cmd_trace_summarize)
 
     trace_export = trace_sub.add_parser(
-        "export", help="re-export a trace directory (perfetto or csv)"
+        "export", help="re-export a trace directory (perfetto or csv)",
+        parents=[common],
     )
     trace_export.add_argument("--dir", default="trace-out")
     trace_export.add_argument("--format", choices=["perfetto", "csv"],

@@ -2,12 +2,12 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Any, Dict, Optional
 
-from repro.faults.spec import FaultScheduleSpec
+from repro.faults.spec import FaultEventSpec, FaultScheduleSpec
 from repro.net.topology import TopologyConfig
-from repro.sim.engine import seconds
+from repro.sim.engine import SCHEDULERS, seconds
 
 TRANSPORTS = ("dctcp", "tcp")
 FAILURE_KINDS = ("random_drop", "blackhole")
@@ -95,6 +95,12 @@ class ExperimentConfig:
             per hook site.  ``REPRO_TRACE=1`` forces it on for every
             run; traced runs always bypass the result cache (a cached
             summary carries no telemetry).
+        scheduler: event-queue engine, ``"heap"`` (binary heap, the
+            original) or ``"wheel"`` (slotted timer wheel — faster, bit-
+            identical results).  ``REPRO_SCHEDULER`` overrides every
+            config (and bypasses the result cache).  Not part of the
+            result, only of how fast it is computed — but kept in the
+            cache key so A/B benches never share entries.
     """
 
     topology: TopologyConfig
@@ -117,6 +123,7 @@ class ExperimentConfig:
     visibility_sampling: bool = False
     validate: bool = False
     trace: bool = False
+    scheduler: str = "heap"
 
     def __post_init__(self) -> None:
         if self.transport not in TRANSPORTS:
@@ -131,3 +138,83 @@ class ExperimentConfig:
             raise ValueError("size_scale must be positive")
         if self.time_scale <= 0:
             raise ValueError("time_scale must be positive")
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; known: {SCHEDULERS}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Plain-dict round trip (JSON-safe)
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable dict that :meth:`from_dict` restores
+        exactly.
+
+        Nested specs become plain dicts; ``topology.link_overrides``
+        (tuple keys — not JSON-representable as a mapping) becomes a list
+        of ``[leaf, spine, rate_gbps]`` triples.
+        """
+        out: Dict[str, Any] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name == "topology":
+                topo = asdict(value)
+                topo["link_overrides"] = [
+                    [leaf, spine, rate]
+                    for (leaf, spine), rate in sorted(
+                        value.link_overrides.items()
+                    )
+                ]
+                out["topology"] = topo
+            elif spec.name == "failure":
+                out["failure"] = None if value is None else asdict(value)
+            elif spec.name == "faults":
+                out["faults"] = (
+                    None
+                    if value is None
+                    else {"events": [asdict(e) for e in value.events]}
+                )
+            else:
+                out[spec.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentConfig":
+        """Rebuild a config from :meth:`to_dict` output (or any dict in
+        that shape — unknown keys are rejected, missing keys take their
+        defaults; ``topology`` is required)."""
+        data = dict(data)
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown config keys: {sorted(unknown)}; known: {sorted(known)}"
+            )
+        if "topology" not in data:
+            raise ValueError("config dict must carry a 'topology' section")
+        topo = data["topology"]
+        if isinstance(topo, dict):
+            topo = dict(topo)
+            overrides = topo.get("link_overrides", [])
+            if isinstance(overrides, list):
+                topo["link_overrides"] = {
+                    (int(leaf), int(spine)): rate
+                    for leaf, spine, rate in overrides
+                }
+            data["topology"] = TopologyConfig(**topo)
+        failure = data.get("failure")
+        if isinstance(failure, dict):
+            data["failure"] = FailureSpec(**failure)
+        faults = data.get("faults")
+        if isinstance(faults, dict):
+            data["faults"] = FaultScheduleSpec(
+                events=tuple(
+                    FaultEventSpec(**event) for event in faults.get("events", ())
+                )
+            )
+        if "lb_params" in data and data["lb_params"] is None:
+            data["lb_params"] = {}
+        if "hermes_overrides" in data and data["hermes_overrides"] is None:
+            data["hermes_overrides"] = {}
+        return cls(**data)

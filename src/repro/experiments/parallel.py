@@ -51,6 +51,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.config import ExperimentConfig
+from repro.sim.engine import scheduler_forced
 from repro.experiments.runner import (
     ExperimentResult,
     run_experiment,
@@ -458,9 +459,11 @@ def run_cells(
     jobs = resolve_jobs(jobs)
     if use_cache is None:
         use_cache = cache_enabled()
-    if validate_forced() or trace_forced():
+    if validate_forced() or trace_forced() or scheduler_forced():
         # A cached summary was produced without the invariant/telemetry
-        # layer; serving it would silently skip what the user forced on.
+        # layer (or under a different engine than the one REPRO_SCHEDULER
+        # asks to exercise); serving it would silently skip what the user
+        # forced on.
         use_cache = False
     cache = ResultCache(cache_dir) if use_cache else None
 

@@ -17,7 +17,7 @@ from repro.net.failures import (
     RandomDropFailure,
     blackhole_pairs_between_racks,
 )
-from repro.sim.engine import Simulator, microseconds
+from repro.sim.engine import Simulator, make_simulator, microseconds, scheduler_forced
 from repro.sim.rng import RngStreams
 from repro.transport.dctcp import DctcpFlow
 from repro.transport.tcp import TcpFlow
@@ -99,7 +99,9 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     past the last arrival, whichever comes first; flows still active then
     are reported as unfinished.
     """
-    sim = Simulator()
+    # REPRO_SCHEDULER (inside make_simulator) overrides the config, the
+    # same way REPRO_VALIDATE/REPRO_TRACE override their flags.
+    sim = make_simulator(config.scheduler)
     rng = RngStreams(config.seed)
     fabric = Fabric(sim, config.topology, rng)
     checker = None

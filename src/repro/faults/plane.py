@@ -211,7 +211,7 @@ class FaultSchedule:
             self.applied += 1
         else:
             self.reverted += 1
-        tracer = self.fabric.tracer
+        tracer = self.fabric._tracer
         if tracer is not None:
             tracer.on_fault(record)
         if self.audit is not None:

@@ -7,12 +7,14 @@ after each link traversal; the final hop lands in :meth:`Host.receive`.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
+from repro.hooks import HookSet
 from repro.net.host import Host
 from repro.net.packet import Packet
 from repro.net.topology import LeafSpineTopology, TopologyConfig
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, _HOOK_DEPRECATION
 from repro.sim.rng import RngStreams
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -44,16 +46,45 @@ class Fabric:
         self._next_flow_id = 0
         self.on_flow_done: Optional[Callable[["FlowBase"], None]] = None
         #: Optional invariant checker (see :mod:`repro.validate`).
-        self.checker = None
+        #: Attach via :attr:`hooks`.
+        self._checker = None
         #: Optional tracer (see :mod:`repro.telemetry`): receives packet
         #: send/hop/deliver and flow start/finish callbacks.  This is the
         #: single hook site both the structured tracer and the
         #: :class:`~repro.net.trace.PacketTracer` shim attach to.
-        self.tracer = None
+        self._tracer = None
+        #: The unified attach/detach surface for all observability hooks
+        #: (checker / tracer / audit / profiler) — see :mod:`repro.hooks`.
+        self.hooks = HookSet(self)
 
     @property
     def config(self) -> TopologyConfig:
         return self.topology.config
+
+    # ------------------------------------------------------------------ #
+    # Legacy hook attributes (deprecated setters; see repro.hooks)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def checker(self):
+        """The attached invariant checker (read-only view; attach via
+        :attr:`hooks`)."""
+        return self._checker
+
+    @checker.setter
+    def checker(self, value) -> None:
+        warnings.warn(_HOOK_DEPRECATION, DeprecationWarning, stacklevel=2)
+        self._checker = value
+
+    @property
+    def tracer(self):
+        """The attached tracer (read-only view; attach via :attr:`hooks`)."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        warnings.warn(_HOOK_DEPRECATION, DeprecationWarning, stacklevel=2)
+        self._tracer = value
 
     # ------------------------------------------------------------------ #
     # Flow registry
@@ -68,13 +99,13 @@ class Fabric:
     def register_flow(self, flow: "FlowBase") -> None:
         """Make a flow reachable from both endpoints."""
         self.flows[flow.flow_id] = flow
-        if self.tracer is not None:
-            self.tracer.on_flow_start(flow)
+        if self._tracer is not None:
+            self._tracer.on_flow_start(flow)
 
     def flow_finished(self, flow: "FlowBase") -> None:
         """Called by a flow when it completes; fans out to the harness."""
-        if self.tracer is not None:
-            self.tracer.on_flow_finish(flow)
+        if self._tracer is not None:
+            self._tracer.on_flow_finish(flow)
         if self.on_flow_done is not None:
             self.on_flow_done(flow)
 
@@ -86,21 +117,21 @@ class Fabric:
         """Inject a packet at its source host over ``packet.path_id``."""
         packet.route = self.topology.route(packet.src, packet.dst, packet.path_id)
         packet.hop = 0
-        if self.checker is not None:
-            self.checker.on_send(packet)
+        if self._checker is not None:
+            self._checker.on_send(packet)
         accepted = packet.route[0].enqueue(packet)
-        if self.tracer is not None:
-            self.tracer.on_send(packet)
+        if self._tracer is not None:
+            self._tracer.on_send(packet)
         return accepted
 
     def forward(self, packet: Packet) -> None:
         """Advance a packet one hop (port callback after propagation)."""
-        if self.tracer is not None:
-            self.tracer.on_forward(packet)
+        if self._tracer is not None:
+            self._tracer.on_forward(packet)
         packet.hop += 1
         if packet.hop < len(packet.route):
             packet.route[packet.hop].enqueue(packet)
         else:
-            if self.checker is not None:
-                self.checker.on_deliver(packet)
+            if self._checker is not None:
+                self._checker.on_deliver(packet)
             self.hosts[packet.dst].receive(packet)

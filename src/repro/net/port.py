@@ -14,10 +14,12 @@ lazily (decay computed on read) so it costs no timer events.
 from __future__ import annotations
 
 import math
+import warnings
 from collections import deque
 from typing import Callable, List, Optional, TYPE_CHECKING
 
 from repro.net.packet import Packet, PacketKind
+from repro.sim.engine import _HOOK_DEPRECATION
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
@@ -53,6 +55,9 @@ class OutputPort:
         "_rate_den",
         "_tx_cache",
         "_schedule",
+        "_reschedule",
+        "_tx_event",
+        "_inflight",
         "prop_delay_ns",
         "buffer_bytes",
         "ecn_threshold_bytes",
@@ -73,8 +78,8 @@ class OutputPort:
         "_dre_last",
         "data_bytes_enqueued",
         "ecn_marks",
-        "checker",
-        "tracer",
+        "_checker",
+        "_tracer",
     )
 
     def __init__(
@@ -100,6 +105,12 @@ class OutputPort:
         self._rate_num, self._rate_den = rate_bps.as_integer_ratio()
         self._tx_cache: dict = {}
         self._schedule = sim.schedule  # bound-method cache for the hot path
+        self._reschedule = sim.reschedule
+        # Batched tx chain: one persistent completion event is re-armed
+        # for every packet this port serializes (no per-packet Event
+        # allocation); the packet on the wire rides in ``_inflight``.
+        self._tx_event = None
+        self._inflight: Optional[Packet] = None
         self.prop_delay_ns = prop_delay_ns
         self.buffer_bytes = buffer_bytes
         self.ecn_threshold_bytes = ecn_threshold_bytes
@@ -126,10 +137,37 @@ class OutputPort:
         self._dre_last = 0
         #: Optional invariant checker (see :mod:`repro.validate`); one
         #: ``is not None`` branch per enqueue/dequeue when disabled.
-        self.checker = None
+        #: Attach via :class:`repro.hooks.HookSet`.
+        self._checker = None
         #: Optional tracer (see :mod:`repro.telemetry`): receives drop
         #: callbacks; same nullable zero-cost pattern.
-        self.tracer = None
+        self._tracer = None
+
+    # ------------------------------------------------------------------ #
+    # Legacy hook attributes (deprecated setters; see repro.hooks)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def checker(self):
+        """The attached invariant checker (read-only view; attach via
+        :class:`repro.hooks.HookSet`)."""
+        return self._checker
+
+    @checker.setter
+    def checker(self, value) -> None:
+        warnings.warn(_HOOK_DEPRECATION, DeprecationWarning, stacklevel=2)
+        self._checker = value
+
+    @property
+    def tracer(self):
+        """The attached tracer (read-only view; attach via
+        :class:`repro.hooks.HookSet`)."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        warnings.warn(_HOOK_DEPRECATION, DeprecationWarning, stacklevel=2)
+        self._tracer = value
 
     # ------------------------------------------------------------------ #
     # Enqueue / transmit
@@ -158,29 +196,29 @@ class OutputPort:
         """
         if self.admin_down:
             self.drops_linkdown += 1
-            if self.checker is not None:
-                self.checker.on_injected_drop(self, packet)
-            if self.tracer is not None:
-                self.tracer.on_drop(self, packet, "link-down")
+            if self._checker is not None:
+                self._checker.on_injected_drop(self, packet)
+            if self._tracer is not None:
+                self._tracer.on_drop(self, packet, "link-down")
             return False
         if self.drop_predicates:
             now = self.sim.now
             for predicate in self.drop_predicates:
                 if predicate(packet, now):
                     self.drops_injected += 1
-                    if self.checker is not None:
-                        self.checker.on_injected_drop(self, packet)
-                    if self.tracer is not None:
-                        self.tracer.on_drop(self, packet, "injected")
+                    if self._checker is not None:
+                        self._checker.on_injected_drop(self, packet)
+                    if self._tracer is not None:
+                        self._tracer.on_drop(self, packet, "injected")
                     return False
         size = packet.size
         backlog = self.backlog_bytes + size
         if backlog > self.buffer_bytes:
             self.drops_overflow += 1
-            if self.checker is not None:
-                self.checker.on_overflow_drop(self, packet)
-            if self.tracer is not None:
-                self.tracer.on_drop(self, packet, "overflow")
+            if self._checker is not None:
+                self._checker.on_overflow_drop(self, packet)
+            if self._tracer is not None:
+                self._tracer.on_drop(self, packet, "overflow")
             return False
         if (
             self.ecn_threshold_bytes > 0
@@ -196,14 +234,22 @@ class OutputPort:
         if kind == PacketKind.DATA or kind == PacketKind.UDP:
             self.data_bytes_enqueued += size
         self._queues[packet.priority].append(packet)
-        if self.checker is not None:
-            self.checker.on_enqueued(self, packet, backlog - size)
+        if self._checker is not None:
+            self._checker.on_enqueued(self, packet, backlog - size)
         if not self.busy:
             self._start_next()
         return True
 
     def _start_next(self) -> None:
-        """Begin serializing the head-of-line packet (strict priority)."""
+        """Begin serializing the head-of-line packet (strict priority).
+
+        Draining a burst is a *batched* chain: one persistent completion
+        event per port, re-armed in place for each successive packet
+        (an in-slot append on the wheel engine) instead of a freshly
+        allocated event per packet.  Sequence numbers are still drawn
+        one per arming, so dispatch order — and results — are identical
+        to the unbatched scheme.
+        """
         if self.admin_down:
             # Queued packets stall until the link is admin-up again.
             self.busy = False
@@ -212,14 +258,21 @@ class OutputPort:
             if queue:
                 packet = queue.popleft()
                 self.busy = True
-                self._schedule(
-                    self.tx_time_ns(packet.size), self._tx_done, packet
-                )
+                self._inflight = packet
+                event = self._tx_event
+                if event is None:
+                    self._tx_event = self._schedule(
+                        self.tx_time_ns(packet.size), self._tx_done
+                    )
+                else:
+                    self._reschedule(event, self.tx_time_ns(packet.size))
                 return
         self.busy = False
+        self._inflight = None
 
-    def _tx_done(self, packet: Packet) -> None:
+    def _tx_done(self) -> None:
         """The last bit has left: account, stamp DRE, propagate."""
+        packet = self._inflight
         size = packet.size
         self.backlog_bytes -= size
         self.bytes_sent += size
@@ -230,8 +283,8 @@ class OutputPort:
             metric = self.dre_quantized()
             if metric > packet.conga_metric:
                 packet.conga_metric = metric
-        if self.checker is not None:
-            self.checker.on_tx_done(self, packet)
+        if self._checker is not None:
+            self._checker.on_tx_done(self, packet)
         if self.forward is not None:
             self._schedule(self.prop_delay_ns, self.forward, packet)
         self._start_next()

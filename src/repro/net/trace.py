@@ -79,21 +79,16 @@ class PacketTracer(TracerHooks):
                 hook (e.g. telemetry installed by ``--trace``).
         """
         if not self._attached:
-            if self.fabric.tracer is not None and self.fabric.tracer is not self:
-                raise RuntimeError(
-                    "fabric already has a tracer attached; "
-                    "detach it first or use repro.telemetry"
-                )
+            self.fabric.hooks.attach(tracer=self)
             self._attached = True
-            self.fabric.tracer = self
         return self
 
     def detach(self) -> None:
         """Stop observing and release the fabric's tracer hook."""
         if self._attached:
             self._attached = False
-            if self.fabric.tracer is self:
-                self.fabric.tracer = None
+            if self.fabric.hooks.occupant("tracer") is self:
+                self.fabric.hooks.detach(tracer=True)
 
     def __enter__(self) -> "PacketTracer":
         return self.attach()

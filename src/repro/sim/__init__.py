@@ -1,11 +1,29 @@
 """Discrete-event simulation engine.
 
-The engine is deliberately tiny: an integer-nanosecond clock, a binary-heap
-event queue with cancellable events, and seeded random-number streams.  All
+The engine is deliberately tiny: an integer-nanosecond clock, a cancellable
+event queue (binary heap or slotted timer wheel — see
+:data:`repro.sim.SCHEDULERS`), and seeded random-number streams.  All
 higher layers (network, transport, load balancers) are built on top of it.
 """
 
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import (
+    SCHEDULERS,
+    Event,
+    Simulator,
+    WheelSimulator,
+    make_simulator,
+    resolve_scheduler,
+    scheduler_forced,
+)
 from repro.sim.rng import RngStreams
 
-__all__ = ["Event", "Simulator", "RngStreams"]
+__all__ = [
+    "Event",
+    "Simulator",
+    "WheelSimulator",
+    "RngStreams",
+    "SCHEDULERS",
+    "make_simulator",
+    "resolve_scheduler",
+    "scheduler_forced",
+]

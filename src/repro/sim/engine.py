@@ -5,12 +5,30 @@ runs are bit-reproducible across platforms.  Events scheduled for the same
 instant fire in scheduling order (FIFO), which the transport layer relies
 on (e.g. an ACK processed before the retransmission timer set in the same
 nanosecond).
+
+Two interchangeable schedulers implement that contract:
+
+* :class:`Simulator` — a single binary heap (the original engine and the
+  perf baseline);
+* :class:`WheelSimulator` — a hierarchical calendar queue: near-future
+  events land in fixed-width time slots (O(1) schedule/cancel via
+  slot-local lists), far-future events overflow into a fallback heap that
+  refills the wheel as the cursor advances.
+
+Both dispatch events in exactly the same total order — ``(time, seq)``
+with ``seq`` monotonically increasing per schedule — so results are
+bit-identical whichever engine runs them (enforced by the golden grid and
+the scheduler-differential test suite).  Select per run with
+``ExperimentConfig(scheduler=...)`` or globally with ``REPRO_SCHEDULER``.
 """
 
 from __future__ import annotations
 
-import heapq
-from heapq import heappop, heappush
+import os
+import warnings
+from bisect import insort
+from heapq import heapify, heappop, heappush
+from operator import attrgetter
 from typing import Any, Callable, Optional
 
 #: Sentinel "never" time: larger than any reachable simulation clock.
@@ -19,6 +37,19 @@ _NEVER = (1 << 63) - 1
 NS_PER_US = 1_000
 NS_PER_MS = 1_000_000
 NS_PER_SEC = 1_000_000_000
+
+#: The engine's total dispatch order, as a C-level key extractor.
+_TIME_SEQ = attrgetter("time", "seq")
+
+#: Known scheduler names (see :func:`make_simulator`).
+SCHEDULERS = ("heap", "wheel")
+
+#: Deprecation message prefix shared by every legacy hook attribute —
+#: the CI test job promotes exactly this prefix to an error.
+_HOOK_DEPRECATION = (
+    "deprecated hook attribute assignment; use "
+    "repro.hooks.HookSet (fabric.hooks.attach(...)) instead"
+)
 
 
 def seconds(value: float) -> int:
@@ -41,7 +72,10 @@ class Event:
 
     Events are one-shot.  ``cancel()`` marks the event dead; the engine
     skips dead events when they surface, which is cheaper than removing
-    them from the heap.
+    them from the queue.  A fired (or never-scheduled) event may be
+    re-armed with :meth:`Simulator.reschedule`, which reuses the object
+    instead of allocating a new one — the batched port-drain chain and
+    the periodic samplers live on this.
     """
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled")
@@ -68,7 +102,7 @@ class Event:
 
 
 class Simulator:
-    """Minimal discrete-event simulator.
+    """Minimal discrete-event simulator (binary-heap scheduler).
 
     Usage::
 
@@ -80,6 +114,9 @@ class Simulator:
     when ``max_events`` events have fired.
     """
 
+    #: Name under which :func:`make_simulator` builds this engine.
+    scheduler = "heap"
+
     def __init__(self) -> None:
         self.now: int = 0
         self._queue: list[Event] = []
@@ -89,12 +126,43 @@ class Simulator:
         self._stop_requested = False
         #: Optional invariant checker (see :mod:`repro.validate`).  When
         #: ``None`` — the default — the event loop pays one predictable
-        #: branch per event and nothing else.
-        self.checker = None
+        #: branch per event and nothing else.  Attach via
+        #: :class:`repro.hooks.HookSet`.
+        self._checker = None
         #: Optional event-loop profiler (see
         #: :class:`repro.telemetry.series.LoopProfiler`); same nullable
         #: pattern — one branch per event when off.
-        self.profiler = None
+        self._profiler = None
+
+    # ------------------------------------------------------------------ #
+    # Legacy hook attributes (deprecated setters; see repro.hooks)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def checker(self):
+        """The attached invariant checker (read-only view; attach via
+        :class:`repro.hooks.HookSet`)."""
+        return self._checker
+
+    @checker.setter
+    def checker(self, value) -> None:
+        warnings.warn(_HOOK_DEPRECATION, DeprecationWarning, stacklevel=2)
+        self._checker = value
+
+    @property
+    def profiler(self):
+        """The attached loop profiler (read-only view; attach via
+        :class:`repro.hooks.HookSet`)."""
+        return self._profiler
+
+    @profiler.setter
+    def profiler(self, value) -> None:
+        warnings.warn(_HOOK_DEPRECATION, DeprecationWarning, stacklevel=2)
+        self._profiler = value
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
 
     def schedule(self, delay_ns: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay_ns`` nanoseconds from now."""
@@ -116,6 +184,54 @@ class Simulator:
         heappush(self._queue, event)
         return event
 
+    def reschedule(self, event: Event, delay_ns: int) -> Event:
+        """Re-arm ``event`` to fire ``delay_ns`` nanoseconds from now.
+
+        Reuses the event object (no allocation, same ``fn``/``args``) but
+        draws a **fresh** sequence number, so FIFO ordering against other
+        events at the new instant is exactly as if a new event had been
+        scheduled — both engines produce identical dispatch streams.
+
+        The event must not be pending: only re-arm an event that has
+        already fired (e.g. from inside its own callback) or was never
+        scheduled.  Re-arming a pending event would enqueue it twice.
+        """
+        if delay_ns < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay_ns})")
+        event.time = self.now + delay_ns
+        event.seq = self._seq
+        self._seq += 1
+        event.cancelled = False
+        heappush(self._queue, event)
+        return event
+
+    def schedule_periodic(
+        self, period_ns: int, fn: Callable[..., Any], *args: Any
+    ) -> Event:
+        """Schedule ``fn(*args)`` every ``period_ns``, starting one period
+        from now.
+
+        The returned handle re-arms itself after each firing without
+        re-entering the public scheduling path: one :class:`Event` object
+        is reused for the whole chain (in the wheel engine the re-arm is
+        an in-slot append).  ``cancel()`` the handle to stop the chain —
+        from outside or from within the callback itself.
+        """
+        if period_ns <= 0:
+            raise ValueError(f"period must be positive, got {period_ns}")
+        event: Optional[Event] = None
+
+        def tick() -> None:
+            fn(*args)
+            if not event.cancelled:
+                self.reschedule(event, period_ns)
+
+        # Keep profiler attribution on the user callback, not the shim.
+        tick.__qualname__ = getattr(fn, "__qualname__", repr(fn))
+        tick.__name__ = getattr(fn, "__name__", "tick")
+        event = self.schedule(period_ns, tick)
+        return event
+
     def cancel(self, event: Optional[Event]) -> None:
         """Cancel an event (no-op for ``None`` or already-cancelled events)."""
         if event is not None:
@@ -134,7 +250,7 @@ class Simulator:
     def peek_time(self) -> Optional[int]:
         """Time of the next live event, or ``None`` if the queue is empty."""
         while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+            heappop(self._queue)
         return self._queue[0].time if self._queue else None
 
     def stop(self) -> None:
@@ -171,8 +287,8 @@ class Simulator:
         pop = heappop
         horizon = _NEVER if until is None else until
         limit = _NEVER if max_events is None else max_events
-        checker = self.checker
-        profiler = self.profiler
+        checker = self._checker
+        profiler = self._profiler
         fired = 0
         self._stop_requested = False
         self._running = True
@@ -208,3 +324,339 @@ class Simulator:
         self._seq = 0
         self._events_fired = 0
         self._stop_requested = False
+
+
+class WheelSimulator(Simulator):
+    """Hierarchical calendar queue: a slotted timer wheel over a fallback
+    heap.
+
+    The wheel covers a sliding window of ``num_slots`` fixed-width time
+    slots ahead of the cursor.  Scheduling an event inside the window is
+    an O(1) integer shift + list append; events beyond the window go to
+    an **overflow heap** and are refilled into slots as the cursor
+    advances (rollover).  When the cursor reaches a slot, the slot is
+    *opened*: its events are sorted once by ``(time, seq)`` (C-level
+    stable sort) into the drain **bucket** and popped by index; events
+    scheduled at or before the cursor's slot while draining are merged
+    into the bucket by binary insertion, preserving the exact dispatch
+    order of the heap engine.
+
+    Dispatch order, same-instant FIFO, cancellation semantics, ``stop()``
+    and ``run(until=..., max_events=...)`` behaviour are all identical to
+    :class:`Simulator` — only the queue mechanics differ.
+
+    Args:
+        slot_ns_bits: log2 of the slot width in nanoseconds (default 12 →
+            4096 ns slots: one slot spans a few packet serializations at
+            10 Gbps, so port tx chains stay in-slot).
+        num_slot_bits: log2 of the slot count (default 11 → 2048 slots,
+            an ~8.4 ms window that holds RTO timers and samplers; only
+            flow arrivals and drain deadlines overflow).
+    """
+
+    scheduler = "wheel"
+
+    def __init__(self, slot_ns_bits: int = 12, num_slot_bits: int = 11) -> None:
+        super().__init__()
+        if slot_ns_bits < 1 or num_slot_bits < 1:
+            raise ValueError("wheel geometry bits must be positive")
+        self._shift = slot_ns_bits
+        self._num_slots = 1 << num_slot_bits
+        self._mask = self._num_slots - 1
+        self._slots: list[list] = [[] for _ in range(self._num_slots)]
+        #: Absolute index of the slot the cursor occupies (== drained).
+        self._cur_slot = 0
+        #: Events living in slot lists (bucket and overflow not counted).
+        self._wheel_count = 0
+        #: Sorted drain list of the opened slot + anything scheduled at or
+        #: before the cursor while draining.
+        self._bucket: list[Event] = []
+        self._bucket_pos = 0
+        #: Far-future events, ordered by Event.__lt__ == (time, seq).
+        self._overflow: list[Event] = []
+        # Occupancy / rollover counters, surfaced via wheel_stats() and
+        # the telemetry LoopProfiler.
+        self.wheel_rollovers = 0
+        self.wheel_overflow_pushes = 0
+        self.wheel_refilled = 0
+        self.wheel_cursor_jumps = 0
+        self.wheel_slots_opened = 0
+        self.wheel_max_bucket = 0
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+
+    def _insert(self, event: Event) -> None:
+        idx = event.time >> self._shift
+        cur = self._cur_slot
+        if idx > cur:
+            if idx - cur <= self._num_slots:
+                self._slots[idx & self._mask].append(event)
+                self._wheel_count += 1
+            else:
+                heappush(self._overflow, event)
+                self.wheel_overflow_pushes += 1
+        else:
+            # At (or before) the cursor's slot: merge into the live drain
+            # bucket.  The new event's seq is the largest allocated, so
+            # insort-right lands it after every equal-time event — FIFO.
+            insort(self._bucket, event, lo=self._bucket_pos, key=_TIME_SEQ)
+
+    def schedule(self, delay_ns: int, fn: Callable[..., Any], *args: Any) -> Event:
+        if delay_ns < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay_ns})")
+        event = Event(self.now + delay_ns, self._seq, fn, args)
+        self._seq += 1
+        self._insert(event)
+        return event
+
+    def schedule_at(self, time_ns: int, fn: Callable[..., Any], *args: Any) -> Event:
+        if time_ns < self.now:
+            raise ValueError(
+                f"cannot schedule at t={time_ns} before now={self.now}"
+            )
+        event = Event(time_ns, self._seq, fn, args)
+        self._seq += 1
+        self._insert(event)
+        return event
+
+    def reschedule(self, event: Event, delay_ns: int) -> Event:
+        if delay_ns < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay_ns})")
+        event.time = self.now + delay_ns
+        event.seq = self._seq
+        self._seq += 1
+        event.cancelled = False
+        self._insert(event)
+        return event
+
+    # ------------------------------------------------------------------ #
+    # Cursor movement
+    # ------------------------------------------------------------------ #
+
+    def _refill(self, horizon_idx: int) -> None:
+        """Move overflow events whose slot is now inside the window
+        (``idx <= horizon_idx``) into their slots (or the live bucket)."""
+        overflow = self._overflow
+        shift = self._shift
+        cur = self._cur_slot
+        moved = 0
+        while overflow:
+            head = overflow[0]
+            if head.cancelled:
+                heappop(overflow)
+                continue
+            idx = head.time >> shift
+            if idx > horizon_idx:
+                break
+            heappop(overflow)
+            moved += 1
+            if idx > cur:
+                self._slots[idx & self._mask].append(head)
+                self._wheel_count += 1
+            else:
+                insort(self._bucket, head, lo=self._bucket_pos, key=_TIME_SEQ)
+        if moved:
+            self.wheel_refilled += moved
+            self.wheel_rollovers += 1
+
+    def _advance(self) -> bool:
+        """Ensure the bucket holds the next events to dispatch.
+
+        Returns ``False`` when nothing is pending anywhere (the bucket,
+        the wheel and the overflow heap are all drained).
+        """
+        while True:
+            if self._bucket_pos < len(self._bucket):
+                return True
+            # Bucket exhausted: recycle the list before moving on.
+            if self._bucket:
+                self._bucket.clear()
+                self._bucket_pos = 0
+            overflow = self._overflow
+            while overflow and overflow[0].cancelled:
+                heappop(overflow)
+            if overflow:
+                horizon = self._cur_slot + self._num_slots
+                head_idx = overflow[0].time >> self._shift
+                if self._wheel_count == 0 and head_idx > horizon:
+                    # Whole revolutions of dead air: jump the cursor
+                    # straight to the overflow head's slot.
+                    self._cur_slot = head_idx
+                    self.wheel_cursor_jumps += 1
+                    horizon = head_idx + self._num_slots
+                if head_idx <= horizon:
+                    self._refill(horizon)
+                    continue  # bucket/slots may have gained events
+            if self._wheel_count == 0:
+                return False
+            # Scan for the next non-empty slot.  Guaranteed to terminate:
+            # every slotted event satisfies cur < idx <= cur + num_slots.
+            cur = self._cur_slot
+            slots = self._slots
+            mask = self._mask
+            while True:
+                cur += 1
+                slot = slots[cur & mask]
+                if slot:
+                    break
+            self._cur_slot = cur
+            self._open_slot(slot)
+            return True
+
+    def _open_slot(self, slot: list) -> None:
+        """Turn a slot's contents into the sorted drain bucket."""
+        n = len(slot)
+        self._wheel_count -= n
+        self.wheel_slots_opened += 1
+        if n > self.wheel_max_bucket:
+            self.wheel_max_bucket = n
+        bucket = self._bucket
+        bucket.extend(slot)
+        slot.clear()
+        if n > 1:
+            # Stable C sort on (time, seq): restores the heap engine's
+            # exact total order however direct appends and overflow
+            # refills interleaved in the slot.
+            bucket.sort(key=_TIME_SEQ)
+        self._bucket_pos = 0
+
+    def _peek(self) -> Optional[Event]:
+        """The next live event, advancing the cursor as needed (the clock
+        is untouched)."""
+        while True:
+            pos = self._bucket_pos
+            if pos < len(self._bucket):
+                event = self._bucket[pos]
+                if event.cancelled:
+                    self._bucket_pos = pos + 1
+                    continue
+                return event
+            if not self._advance():
+                return None
+
+    # ------------------------------------------------------------------ #
+    # Engine API
+    # ------------------------------------------------------------------ #
+
+    @property
+    def pending(self) -> int:
+        return (
+            self._wheel_count
+            + (len(self._bucket) - self._bucket_pos)
+            + len(self._overflow)
+        )
+
+    def peek_time(self) -> Optional[int]:
+        event = self._peek()
+        return event.time if event is not None else None
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        if self._running:
+            raise RuntimeError(
+                "Simulator.run() is not re-entrant; "
+                "use schedule()/stop() from within callbacks"
+            )
+        horizon = _NEVER if until is None else until
+        limit = _NEVER if max_events is None else max_events
+        checker = self._checker
+        profiler = self._profiler
+        fired = 0
+        self._stop_requested = False
+        self._running = True
+        bucket = self._bucket
+        try:
+            while True:
+                pos = self._bucket_pos
+                if pos < len(bucket):
+                    event = bucket[pos]
+                    if event.cancelled:
+                        self._bucket_pos = pos + 1
+                        continue
+                    if event.time > horizon or fired >= limit:
+                        break
+                    self._bucket_pos = pos + 1
+                    if checker is not None:
+                        checker.on_advance(event.time, self.now)
+                    self.now = event.time
+                    fired += 1
+                    if profiler is not None:
+                        profiler.on_event(event)
+                    event.fn(*event.args)
+                    if self._stop_requested:
+                        break
+                    continue
+                if not self._advance():
+                    break
+                bucket = self._bucket
+        finally:
+            self._events_fired += fired
+            self._running = False
+        if until is not None and not self._stop_requested and self.now < until:
+            self.now = until
+        return fired
+
+    def reset(self) -> None:
+        super().reset()
+        self._queue.clear()
+        for slot in self._slots:
+            slot.clear()
+        self._cur_slot = 0
+        self._wheel_count = 0
+        self._bucket = []
+        self._bucket_pos = 0
+        self._overflow = []
+
+    def wheel_stats(self) -> dict:
+        """Occupancy / rollover counters (also surfaced by the telemetry
+        :class:`~repro.telemetry.series.LoopProfiler`)."""
+        return {
+            "slot_ns": 1 << self._shift,
+            "num_slots": self._num_slots,
+            "pending_slots": self._wheel_count,
+            "pending_bucket": len(self._bucket) - self._bucket_pos,
+            "pending_overflow": len(self._overflow),
+            "occupied_slots": sum(1 for slot in self._slots if slot),
+            "rollovers": self.wheel_rollovers,
+            "overflow_pushes": self.wheel_overflow_pushes,
+            "refilled": self.wheel_refilled,
+            "cursor_jumps": self.wheel_cursor_jumps,
+            "slots_opened": self.wheel_slots_opened,
+            "max_bucket": self.wheel_max_bucket,
+        }
+
+
+# --------------------------------------------------------------------- #
+# Scheduler selection
+# --------------------------------------------------------------------- #
+
+
+def resolve_scheduler(scheduler: Optional[str] = None) -> str:
+    """Effective scheduler name: ``REPRO_SCHEDULER`` env > argument >
+    ``"heap"``.  Raises ``ValueError`` for unknown names."""
+    env = os.environ.get("REPRO_SCHEDULER")
+    source = ""
+    if env:
+        scheduler = env
+        source = " (from REPRO_SCHEDULER)"
+    if scheduler is None:
+        scheduler = "heap"
+    if scheduler not in SCHEDULERS:
+        raise ValueError(
+            f"unknown scheduler {scheduler!r}{source}; known: {SCHEDULERS}"
+        )
+    return scheduler
+
+
+def scheduler_forced() -> bool:
+    """True when ``REPRO_SCHEDULER`` overrides every config's scheduler
+    choice (which also bypasses the result cache — a cached summary says
+    nothing about the engine the override asked to exercise)."""
+    return bool(os.environ.get("REPRO_SCHEDULER"))
+
+
+def make_simulator(scheduler: Optional[str] = None) -> Simulator:
+    """Build the engine named by ``scheduler`` (after env resolution)."""
+    name = resolve_scheduler(scheduler)
+    return Simulator() if name == "heap" else WheelSimulator()

@@ -124,22 +124,15 @@ def install_telemetry(
         sample_period_ns: if set, start queue-backlog and ECN-fraction
             samplers over every port at this period.
     """
-    if fabric.tracer is not None:
-        raise RuntimeError(
-            "fabric already has a tracer attached; detach it first "
-            "(one tracer per fabric)"
-        )
     telemetry = Telemetry(
         fabric.sim,
         capacity=capacity,
         audit_capacity=audit_capacity,
         profile=profile,
     )
-    fabric.tracer = telemetry.tracer
-    for port in fabric.topology.all_ports():
-        port.tracer = telemetry.tracer
-    if telemetry.profiler is not None:
-        fabric.sim.profiler = telemetry.profiler
+    fabric.hooks.attach(
+        tracer=telemetry.tracer, profiler=telemetry.profiler
+    )
     if sample_period_ns is not None:
         ports = fabric.topology.all_ports()
         telemetry.add_series(
@@ -165,19 +158,14 @@ def watch_lb(
     with neither.  When ``sample_period_ns`` is set, a
     :class:`PathStateSeries` is started per leaf table.
     """
-    for host in fabric.hosts:
-        agent = host.lb
-        if agent is not None and hasattr(agent, "audit"):
-            agent.audit = telemetry.audit
-    if shared:
+    fabric.hooks.attach(audit=telemetry.audit, shared=shared)
+    if shared and sample_period_ns is not None:
         for leaf, state in shared.get("leaf_states", {}).items():
             if hasattr(state, "audit") and hasattr(state, "classify"):
-                state.audit = telemetry.audit
-                if sample_period_ns is not None:
-                    telemetry.add_series(
-                        f"path_state leaf{leaf}",
-                        PathStateSeries(state, sample_period_ns),
-                    )
+                telemetry.add_series(
+                    f"path_state leaf{leaf}",
+                    PathStateSeries(state, sample_period_ns),
+                )
 
 
 __all__ = [

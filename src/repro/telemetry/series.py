@@ -53,7 +53,12 @@ class PeriodicSampler:
     def start(self) -> None:
         """Begin (or resume) sampling; idempotent while running."""
         if self._tick_event is None:
-            self._tick_event = self.sim.schedule(self.period_ns, self._tick)
+            # schedule_periodic re-arms one reusable event in place (an
+            # in-slot append on the wheel engine) instead of allocating a
+            # fresh event per tick.
+            self._tick_event = self.sim.schedule_periodic(
+                self.period_ns, self._tick
+            )
 
     def stop(self) -> None:
         """Cancel the pending tick; idempotent.  Safe to :meth:`start`
@@ -64,7 +69,6 @@ class PeriodicSampler:
 
     def _tick(self) -> None:
         self.sample(self.sim.now)
-        self._tick_event = self.sim.schedule(self.period_ns, self._tick)
 
     def sample(self, now: int) -> None:
         """Take one sample at sim time ``now``.  Subclasses override."""
@@ -241,8 +245,11 @@ class LoopProfiler:
     * events dispatched per callback kind (the function's qualname —
       ``OutputPort._tx_done``, ``TcpFlow._on_rto``, ...), which is where
       "where do events/sec go" is answered;
-    * per-slab samples of simulated time: events fired, heap size, and
-      wall-clock spent — the events/sec trajectory of the run.
+    * per-slab samples of simulated time: events fired, pending-event
+      count, and wall-clock spent — the events/sec trajectory of the run.
+
+    On a :class:`~repro.sim.engine.WheelSimulator` the summary also
+    carries the wheel's occupancy/rollover/overflow counters.
     """
 
     def __init__(self, sim: "Simulator", slab_ns: int = 100_000_000) -> None:
@@ -252,7 +259,7 @@ class LoopProfiler:
         self.slab_ns = slab_ns
         self.by_kind: Dict[str, int] = {}
         self.events = 0
-        #: (slab_start_ns, events_so_far, heap_size, wall_elapsed_s)
+        #: (slab_start_ns, events_so_far, pending_events, wall_elapsed_s)
         self.slabs: List[Tuple[int, int, int, float]] = []
         self._cur_slab = -1
         self._wall_start = time.perf_counter()
@@ -268,7 +275,7 @@ class LoopProfiler:
                 (
                     slab * self.slab_ns,
                     self.events,
-                    len(self.sim._queue),
+                    self.sim.pending,
                     time.perf_counter() - self._wall_start,
                 )
             )
@@ -279,10 +286,17 @@ class LoopProfiler:
 
     def summary(self) -> Dict[str, Any]:
         wall = time.perf_counter() - self._wall_start
-        return {
+        out = {
             "events": self.events,
             "wall_s": round(wall, 4),
             "events_per_sec": round(self.events / wall, 1) if wall > 0 else 0.0,
-            "max_heap": max((s[2] for s in self.slabs), default=0),
+            "max_pending": max((s[2] for s in self.slabs), default=0),
             "by_kind": dict(self.top_kinds(20)),
         }
+        wheel_stats = getattr(self.sim, "wheel_stats", None)
+        if wheel_stats is not None:
+            out["scheduler"] = "wheel"
+            out["wheel"] = wheel_stats()
+        else:
+            out["scheduler"] = getattr(self.sim, "scheduler", "heap")
+        return out

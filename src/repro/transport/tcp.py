@@ -133,7 +133,7 @@ class TcpFlow(FlowBase):
                 # Blame the path that carried the lost copy, not the one
                 # the retransmission happens to use.
                 agent.on_retransmit(self, lost_path)
-            tracer = self.fabric.tracer
+            tracer = self.fabric._tracer
             if tracer is not None:
                 tracer.on_retransmit(self, seq, lost_path)
         self._path_of[seq] = path
@@ -238,7 +238,7 @@ class TcpFlow(FlowBase):
         agent = self.fabric.hosts[self.src].lb
         if agent is not None:
             agent.on_timeout(self, self.current_path)
-        tracer = self.fabric.tracer
+        tracer = self.fabric._tracer
         if tracer is not None:
             tracer.on_timeout(self, self.current_path)
         # Go-back-N restart from the first unacked segment.

@@ -121,7 +121,7 @@ class InvariantChecker:
                 f"cannot attach checker to busy port {port.name} "
                 f"(backlog={port.backlog_bytes}B): install before traffic starts"
             )
-        port.checker = self
+        port._checker = self
         self._ports.append(port)
         self._shadow_queues[id(port)] = [deque() for _ in port._queues]
         self._shadow_backlog[id(port)] = 0
@@ -458,10 +458,7 @@ def install_checker(
         or (experiment_command(config) if config is not None else None),
     )
     checker = InvariantChecker(fabric.sim, fingerprint)
-    fabric.checker = checker
-    fabric.sim.checker = checker
-    for port in fabric.topology.all_ports():
-        checker.watch_port(port)
+    fabric.hooks.attach(checker=checker)
     return checker
 
 

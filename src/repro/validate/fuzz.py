@@ -287,6 +287,7 @@ def run_case(
     config: Optional[ExperimentConfig] = None,
     raise_error: bool = True,
     with_faults: Optional[bool] = None,
+    scheduler: Optional[str] = None,
 ) -> CaseResult:
     """Run one chaos case under full invariant checking.
 
@@ -297,9 +298,13 @@ def run_case(
             them in the :class:`CaseResult` for sweep-style reporting.
         with_faults: forwarded to :func:`chaos_config` (ignored when
             ``config`` is given).
+        scheduler: event engine override (``"heap"``/``"wheel"``) applied
+            on top of the (generated or given) config.
     """
     if config is None:
         config = chaos_config(seed, with_faults=with_faults)
+    if scheduler is not None:
+        config = replace(config, scheduler=scheduler)
     try:
         result = run_experiment(config)
     except InvariantViolation as exc:
@@ -333,10 +338,16 @@ def run_sweep(
     seeds: Iterable[int],
     raise_error: bool = False,
     with_faults: Optional[bool] = None,
+    scheduler: Optional[str] = None,
 ) -> List[CaseResult]:
     """Run a batch of chaos cases; violations are collected, not raised."""
     return [
-        run_case(seed, raise_error=raise_error, with_faults=with_faults)
+        run_case(
+            seed,
+            raise_error=raise_error,
+            with_faults=with_faults,
+            scheduler=scheduler,
+        )
         for seed in seeds
     ]
 

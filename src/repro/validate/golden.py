@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 import os
+from dataclasses import replace
 from typing import Dict, List, Optional
 
 from repro.experiments.config import ExperimentConfig
@@ -61,10 +62,17 @@ def golden_configs() -> List[ExperimentConfig]:
     ]
 
 
-def compute_reference() -> Dict:
-    """Run the grid in-process and summarize every cell."""
+def compute_reference(scheduler: Optional[str] = None) -> Dict:
+    """Run the grid in-process and summarize every cell.
+
+    ``scheduler`` overrides the event engine per cell (``"heap"`` /
+    ``"wheel"``); both engines must reproduce the same committed
+    reference — that equivalence is itself a test.
+    """
     cells: Dict[str, Dict] = {}
     for config in golden_configs():
+        if scheduler is not None:
+            config = replace(config, scheduler=scheduler)
         result = run_experiment(config)
         stats = result.stats
         cells[f"{config.lb}@{config.load}"] = {

@@ -141,8 +141,9 @@ def test_mutation_backlog_leak_is_caught():
     original = OutputPort._tx_done
     leaked = {"count": 0}
 
-    def leaky(self, packet):
-        original(self, packet)
+    def leaky(self):
+        packet = self._inflight
+        original(self)
         if leaked["count"] == 0 and packet.size > 0:
             leaked["count"] += 1
             self.backlog_bytes += packet.size  # phantom bytes appear

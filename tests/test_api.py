@@ -1,0 +1,149 @@
+"""Tests for repro.api — the stable public facade.
+
+The facade's promises: every name in ``__all__`` resolves, configs
+round-trip through dicts (and therefore JSON), results round-trip
+through save/load, and ``run_grid`` is ``run_experiment`` with fan-out —
+bit-identical either way.
+"""
+
+import dataclasses
+import io
+import json
+
+import pytest
+
+import repro
+import repro.api as api
+from repro.api import (
+    ExperimentConfig,
+    FailureSpec,
+    FaultEventSpec,
+    FaultScheduleSpec,
+    bench_topology,
+    load_result,
+    run_experiment,
+    run_grid,
+    save_result,
+)
+
+
+def _small_config(**overrides):
+    defaults = dict(
+        topology=bench_topology(),
+        lb="conga",
+        workload="web-search",
+        load=0.5,
+        n_flows=20,
+        seed=3,
+        size_scale=0.05,
+        time_scale=0.05,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+class TestSurface:
+    def test_every_exported_name_resolves(self):
+        for name in api.__all__:
+            assert getattr(api, name, None) is not None, name
+
+    def test_package_root_reexports_facade(self):
+        for name in ("run_experiment", "run_grid", "save_result",
+                     "load_result", "ResultSummary", "HookSet"):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+
+    def test_facade_objects_are_the_real_objects(self):
+        from repro.experiments.runner import run_experiment as internal
+
+        assert api.run_experiment is internal
+
+
+class TestConfigRoundTrip:
+    def test_plain_config(self):
+        config = _small_config()
+        assert ExperimentConfig.from_dict(config.to_dict()) == config
+
+    def test_config_with_failure_faults_and_overrides(self):
+        topology = dataclasses.replace(
+            bench_topology(), link_overrides={(0, 1): 4.0, (1, 0): 4.0}
+        )
+        config = _small_config(
+            topology=topology,
+            failure=FailureSpec(kind="random_drop", spine=1, drop_rate=0.05),
+            faults=FaultScheduleSpec(events=(
+                FaultEventSpec(action="link_down", time_ns=5_000_000,
+                               leaf=0, spine=1),
+                FaultEventSpec(action="link_up", time_ns=9_000_000,
+                               leaf=0, spine=1),
+            )),
+            lb_params={"flowlet_gap_us": 50.0},
+            scheduler="wheel",
+        )
+        restored = ExperimentConfig.from_dict(config.to_dict())
+        assert restored == config
+        assert restored.topology.link_overrides == {(0, 1): 4.0, (1, 0): 4.0}
+
+    def test_round_trip_survives_json(self):
+        config = _small_config(scheduler="wheel")
+        wire = json.dumps(config.to_dict(), sort_keys=True)
+        assert ExperimentConfig.from_dict(json.loads(wire)) == config
+
+    def test_from_dict_rejects_unknown_keys(self):
+        data = _small_config().to_dict()
+        data["warp_factor"] = 9
+        with pytest.raises(ValueError, match="unknown config keys"):
+            ExperimentConfig.from_dict(data)
+
+    def test_from_dict_requires_topology(self):
+        with pytest.raises(ValueError, match="topology"):
+            ExperimentConfig.from_dict({"lb": "ecmp"})
+
+    def test_round_tripped_config_runs_identically(self):
+        config = _small_config()
+        twin = ExperimentConfig.from_dict(config.to_dict())
+        a = run_experiment(config)
+        b = run_experiment(twin)
+        assert a.stats.records == b.stats.records
+
+
+class TestResultRoundTrip:
+    def test_save_load_path(self, tmp_path):
+        result = run_experiment(_small_config())
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        loaded = load_result(path)
+        assert loaded.stats.records == result.stats.records
+        assert loaded.events == result.events
+        assert loaded.sim_time_ns == result.sim_time_ns
+        assert loaded.config == result.config
+        assert loaded.mean_fct_ms == pytest.approx(result.mean_fct_ms)
+
+    def test_save_load_stream(self):
+        result = run_experiment(_small_config())
+        buffer = io.StringIO()
+        save_result(result, buffer)
+        buffer.seek(0)
+        loaded = load_result(buffer)
+        assert loaded.stats.records == result.stats.records
+
+    def test_load_rejects_foreign_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": 999}')
+        with pytest.raises(ValueError, match="format"):
+            load_result(path)
+
+
+class TestRunGrid:
+    def test_matches_serial_run_experiment(self):
+        configs = [_small_config(lb=lb) for lb in ("ecmp", "conga")]
+        serial = [run_experiment(c) for c in configs]
+        grid = run_grid(configs, jobs=1, use_cache=False)
+        for a, b in zip(serial, grid):
+            assert a.stats.records == b.stats.records
+
+    def test_wheel_scheduler_through_the_facade(self):
+        config = _small_config(scheduler="wheel")
+        heap = run_experiment(_small_config())
+        wheel = run_experiment(config)
+        assert heap.stats.records == wheel.stats.records

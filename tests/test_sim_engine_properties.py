@@ -1,19 +1,29 @@
-"""Engine property tests: ordering, cancellation, stop(), heap stress.
+"""Engine property tests: ordering, cancellation, stop(), queue stress.
 
 ``tests/test_sim_engine.py`` pins the engine's documented behaviours one
 example at a time; this file attacks the same contract with adversarial
 interleavings — hypothesis-generated schedules and a fixed-seed 10k-op
 random walk checked against a brain-dead reference model (a sorted
-list).  Any heap corruption, FIFO tie-break slip, or cancel/stop edge
+list).  Any queue corruption, FIFO tie-break slip, or cancel/stop edge
 case shows up as a divergence from the model.
+
+Every test is parametrized over BOTH engines (binary heap and calendar
+wheel): the contract is one contract, and the wheel must satisfy it
+verbatim — same firing order, same clock behaviour, same cancel
+semantics.
 """
 
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, WheelSimulator
+
+ENGINES = pytest.mark.parametrize(
+    "make_sim", [Simulator, WheelSimulator], ids=["heap", "wheel"]
+)
 
 
 # --------------------------------------------------------------------- #
@@ -21,6 +31,7 @@ from repro.sim.engine import Simulator
 # --------------------------------------------------------------------- #
 
 
+@ENGINES
 @given(
     st.lists(
         st.integers(min_value=0, max_value=5),  # few distinct times: max ties
@@ -29,8 +40,8 @@ from repro.sim.engine import Simulator
     )
 )
 @settings(max_examples=60, deadline=None)
-def test_same_instant_events_fire_in_scheduling_order(delays):
-    sim = Simulator()
+def test_same_instant_events_fire_in_scheduling_order(make_sim, delays):
+    sim = make_sim()
     fired = []
     for label, delay in enumerate(delays):
         sim.schedule(delay, fired.append, (delay, label))
@@ -40,11 +51,12 @@ def test_same_instant_events_fire_in_scheduling_order(delays):
     assert fired == sorted(fired, key=lambda item: item[0])
 
 
-def test_same_instant_callback_can_cancel_its_successor():
+@ENGINES
+def test_same_instant_callback_can_cancel_its_successor(make_sim):
     """An event may cancel a *later-scheduled* event at the same instant
     and the victim must not fire — the transport layer relies on this
     (ACK processing cancels the retransmit timer set in the same ns)."""
-    sim = Simulator()
+    sim = make_sim()
     fired = []
     victim = None
 
@@ -59,10 +71,11 @@ def test_same_instant_callback_can_cancel_its_successor():
     assert fired == ["assassin", "bystander"]
 
 
-def test_cancel_then_fire_same_event_object_is_inert():
+@ENGINES
+def test_cancel_then_fire_same_event_object_is_inert(make_sim):
     """A cancelled event stays dead even if cancel() raced with its pop:
     double-cancel, cancel-after-fire, and firing order are all safe."""
-    sim = Simulator()
+    sim = make_sim()
     fired = []
     event = sim.schedule(5, fired.append, "once")
     sim.run()
@@ -78,10 +91,11 @@ def test_cancel_then_fire_same_event_object_is_inert():
 # --------------------------------------------------------------------- #
 
 
-def test_stop_mid_callback_preserves_remaining_events():
+@ENGINES
+def test_stop_mid_callback_preserves_remaining_events(make_sim):
     """stop() ends the run *after* the current callback; everything
     still queued must survive untouched and fire on the next run()."""
-    sim = Simulator()
+    sim = make_sim()
     fired = []
 
     def stopper():
@@ -108,24 +122,25 @@ def test_stop_mid_callback_preserves_remaining_events():
     ]
 
 
-def test_stop_mid_callback_beats_until_clock_advance():
-    sim = Simulator()
+@ENGINES
+def test_stop_mid_callback_beats_until_clock_advance(make_sim):
+    sim = make_sim()
     sim.schedule(10, sim.stop)
     sim.run(until=1_000)
     assert sim.now == 10, "stop() must pin the clock at the stopping event"
 
 
 # --------------------------------------------------------------------- #
-# Heap integrity under random schedule/cancel interleavings
+# Queue integrity under random schedule/cancel interleavings
 # --------------------------------------------------------------------- #
 
 
-def _run_against_model(seed, n_ops):
+def _run_against_model(make_sim, seed, n_ops):
     """Drive the engine with a random schedule/cancel/run interleaving
     and predict every firing with a reference model (sorted list of
     (time, seq) entries, cancelled entries removed)."""
     rng = random.Random(seed)
-    sim = Simulator()
+    sim = make_sim()
     fired = []
     live = []  # model: list of (time, seq, event, label)
     for op in range(n_ops):
@@ -152,16 +167,106 @@ def _run_against_model(seed, n_ops):
     before = len(fired)
     sim.run()
     assert fired[before:] == [entry[3] for entry in expected]
-    assert sim.pending == 0 or all(
-        event.cancelled for event in sim._queue
-    )
+    # After a full run only cancelled husks may remain queued.
+    assert sim.peek_time() is None
 
 
-def test_heap_survives_10k_random_schedule_cancel_interleavings():
-    _run_against_model(seed=2024, n_ops=10_000)
+@ENGINES
+def test_queue_survives_10k_random_schedule_cancel_interleavings(make_sim):
+    _run_against_model(make_sim, seed=2024, n_ops=10_000)
 
 
+@ENGINES
 @given(st.integers(min_value=0, max_value=2**32 - 1))
 @settings(max_examples=25, deadline=None)
-def test_heap_matches_model_on_short_random_walks(seed):
-    _run_against_model(seed=seed, n_ops=120)
+def test_queue_matches_model_on_short_random_walks(make_sim, seed):
+    _run_against_model(make_sim, seed=seed, n_ops=120)
+
+
+# --------------------------------------------------------------------- #
+# Wheel-specific structure: slots, overflow, rollover, periodic re-arm
+# --------------------------------------------------------------------- #
+
+
+def test_wheel_cancel_inside_open_slot():
+    """Cancel an event that already sits in the *live* bucket (the slot
+    the cursor has opened) — it must be skipped, not fired, and FIFO
+    order among its same-instant survivors must hold."""
+    sim = WheelSimulator()
+    fired = []
+    victims = []
+
+    def killer():
+        fired.append("killer")
+        for victim in victims:
+            sim.cancel(victim)
+
+    sim.schedule(7, killer)
+    victims.append(sim.schedule(7, fired.append, "dead-1"))
+    sim.schedule(7, fired.append, "alive")
+    victims.append(sim.schedule(7, fired.append, "dead-2"))
+    sim.run()
+    assert fired == ["killer", "alive"]
+    assert sim.peek_time() is None
+
+
+def test_wheel_schedule_at_current_instant_from_callback():
+    """schedule(0, ...) from inside a firing event lands in the already
+    open bucket and still fires this instant, after its siblings."""
+    sim = WheelSimulator()
+    fired = []
+
+    def spawner():
+        fired.append("spawner")
+        sim.schedule(0, fired.append, "same-instant-child")
+
+    sim.schedule(3, spawner)
+    sim.schedule(3, fired.append, "sibling")
+    sim.run()
+    assert fired == ["spawner", "sibling", "same-instant-child"]
+    assert sim.now == 3
+
+
+def test_wheel_overflow_and_rollover_round_trip():
+    """Events far beyond the wheel horizon must overflow to the heap,
+    refill on rollover, and fire in exact time order with near events."""
+    sim = WheelSimulator(slot_ns_bits=4, num_slot_bits=3)  # tiny: 16ns x 8
+    horizon = (1 << 4) * (1 << 3)  # 128 ns
+    fired = []
+    times = [1, horizon - 1, horizon + 5, 3 * horizon, 10 * horizon + 7]
+    for t in times:
+        sim.schedule(t, fired.append, t)
+    assert sim.wheel_overflow_pushes > 0
+    sim.run()
+    assert fired == sorted(times)
+    stats = sim.wheel_stats()
+    assert stats["rollovers"] > 0
+    assert stats["refilled"] >= stats["overflow_pushes"] - len(sim._overflow)
+
+
+def test_wheel_periodic_rearm_stays_in_slot():
+    """schedule_periodic on the wheel re-arms by event reuse: the same
+    Event object fires every tick, total events == tick count."""
+    sim = WheelSimulator()
+    ticks = []
+    event = sim.schedule_periodic(10, lambda: ticks.append(sim.now))
+    sim.schedule(95, sim.stop)
+    sim.run()
+    assert ticks == [10, 20, 30, 40, 50, 60, 70, 80, 90]
+    sim.cancel(event)
+    sim.run()
+    assert len(ticks) == 9, "cancelled periodic must not re-arm"
+
+
+def test_wheel_reset_clears_all_structures():
+    sim = WheelSimulator(slot_ns_bits=4, num_slot_bits=3)
+    sim.schedule(5, lambda: None)
+    sim.schedule(10_000, lambda: None)  # overflow
+    sim.reset()
+    assert sim.pending == 0
+    assert sim.peek_time() is None
+    assert sim.now == 0
+    fired = []
+    sim.schedule(1, fired.append, "post-reset")
+    sim.run()
+    assert fired == ["post-reset"]

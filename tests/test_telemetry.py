@@ -177,7 +177,7 @@ class TestPeriodicSampler:
 
     def test_loop_profiler_counts_by_kind(self, sim):
         profiler = LoopProfiler(sim, slab_ns=1_000)
-        sim.profiler = profiler
+        sim._profiler = profiler
 
         def noop():
             pass
