@@ -1,28 +1,38 @@
 """Core performance microbenchmark: engine throughput + grid scaling.
 
-Tracks the repo's performance trajectory from PR 1 onward.  Three
-measurements over one (scheme x load x seed) grid:
+Tracks the repo's performance trajectory from PR 1 onward.  Phases over
+one (scheme x load x seed) grid:
 
-1. **serial** — every cell in-process (``jobs=1``, no cache), timed per
-   cell: events/sec of the event loop and per-scheme wall-clock;
+1. **serial** — every cell in-process on the **default engine** (the
+   calendar wheel since PR 7), timed per cell: ``events_per_sec`` (and
+   its alias ``events_per_sec_wheel``, kept for cross-PR diffing) plus
+   per-scheme wall-clock;
 2. **parallel cold** — the same grid through
    :func:`repro.experiments.parallel.run_cells` with ``--jobs`` workers
-   and an empty cache;
+   and an empty cache.  On single-core machines the speedup number is
+   meaningless (pure process-spawn overhead), so ``parallel_speedup`` is
+   ``null`` with a ``parallel_speedup_skipped`` reason and ``cpu_count``
+   recorded — the determinism cross-check still runs;
 3. **warm** — the same call again, now served entirely from the cache;
 4. **traced** — the serial grid re-run with ``trace=True``
    (:mod:`repro.telemetry` fully attached), to record what observability
-   costs when it is ON — and, by comparing phase 1 against the seed,
-   that the dormant hooks cost nothing when it is OFF;
-5. **wheel** — the serial grid re-run with ``scheduler="wheel"`` (the
-   calendar-queue engine), asserting bit-identical per-flow records and
-   recording ``events_per_sec_wheel`` + the heap→wheel speedup ratio.
+   costs when it is ON;
+5. **heap** — the serial grid re-run with ``scheduler="heap"`` (the
+   reference binary-heap engine), asserting bit-identical per-flow
+   records and recording ``events_per_sec_heap`` + the heap→wheel
+   speedup ratio ``wheel_speedup_x``;
+6. **wheel:auto** — the serial grid with autotuned wheel geometry,
+   asserting bit-identity again and that the chosen geometry is
+   recorded in ``scheduler_info`` (reproducibility contract).
 
 It also asserts that the parallel run's per-flow records are
 bit-identical to the serial run's — the determinism contract, checked on
 every invocation, not just in the test suite.
 
 Results land in ``BENCH_core.json`` at the repo root so successive PRs
-can diff events/sec, parallel speedup, and warm-cache latency.
+can diff events/sec, parallel speedup, and warm-cache latency.  The
+layered hot-path breakdown (engine-only, port-chain, allocation counts)
+lives in ``benchmarks/bench_hotpath.py`` → ``BENCH_hotpath.json``.
 
 Run directly (CI uses ``--smoke --jobs 2``)::
 
@@ -91,10 +101,16 @@ def build_grid(
 def measure(
     configs: List[ExperimentConfig], jobs: Optional[int] = None
 ) -> Dict:
-    """Time the three phases over ``configs``; returns the report dict."""
+    """Time the phases over ``configs``; returns the report dict."""
     jobs = resolve_jobs(jobs)
+    cpu_count = os.cpu_count() or 1
 
-    # Phase 1: serial, timed per cell.
+    # Untimed warm-up: the first cell otherwise pays one-off costs
+    # (scheme module imports, method-cache warm-up) that belong to
+    # process start, not engine throughput.
+    run_experiment(configs[0])
+
+    # Phase 1: serial on the default engine (wheel), timed per cell.
     per_scheme_wall: Dict[str, float] = {}
     serial_results = []
     total_events = 0
@@ -107,8 +123,11 @@ def measure(
         total_events += result.events
         serial_results.append(result)
     serial_wall = time.perf_counter() - serial_start
+    default_engine = serial_results[0].scheduler_info.get("name", "?")
 
     # Phases 2 + 3: parallel cold then warm, against a throwaway cache.
+    # Always run — they double as the determinism + cache correctness
+    # check — but only *report* a speedup where it can physically exist.
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
         cold_start = time.perf_counter()
         parallel_results = run_cells(
@@ -131,6 +150,21 @@ def measure(
             "cache returned different records"
         )
 
+    parallel_speedup: Optional[float]
+    parallel_speedup_skipped: Optional[str]
+    if cpu_count < 2 or jobs < 2:
+        # A "speedup" measured here is process-spawn overhead wearing a
+        # misleading costume (the 0.93x this used to report on 1-core
+        # CI runners); refuse to publish a number.
+        parallel_speedup = None
+        parallel_speedup_skipped = (
+            f"needs >=2 cpus and >=2 jobs (cpu_count={cpu_count}, "
+            f"jobs={jobs}); cold run kept for determinism check only"
+        )
+    else:
+        parallel_speedup = round(serial_wall / cold_wall, 2)
+        parallel_speedup_skipped = None
+
     # Phase 4: the same serial grid with full telemetry attached.  The
     # traced run must reproduce the untraced records exactly (tracing is
     # pure observation); the wall-clock ratio is the cost of having it ON.
@@ -144,44 +178,73 @@ def measure(
         )
     traced_wall = time.perf_counter() - traced_start
 
-    # Phase 5: the same serial grid on the calendar-queue engine.  The
+    # Phase 5: the same grid on the reference heap engine.  The default
     # wheel must reproduce the heap's records bit-for-bit (the scheduler
     # equivalence contract); the throughput ratio is the payoff.
-    wheel_events = 0
-    wheel_start = time.perf_counter()
-    for config, heap_result in zip(configs, serial_results):
-        wheel = run_experiment(dataclasses.replace(config, scheduler="wheel"))
-        wheel_events += wheel.events
-        assert wheel.stats.records == heap_result.stats.records, (
-            "wheel scheduler diverged from heap scheduler"
+    heap_events = 0
+    heap_start = time.perf_counter()
+    for config, wheel_result in zip(configs, serial_results):
+        heap = run_experiment(dataclasses.replace(config, scheduler="heap"))
+        heap_events += heap.events
+        assert heap.stats.records == wheel_result.stats.records, (
+            "heap scheduler diverged from wheel scheduler"
         )
-        assert wheel.events == heap_result.events, (
-            "wheel scheduler fired a different event count"
+        assert heap.events == wheel_result.events, (
+            "heap scheduler fired a different event count"
         )
-    wheel_wall = time.perf_counter() - wheel_start
+    heap_wall = time.perf_counter() - heap_start
 
+    # Phase 6: autotuned wheel geometry.  Same records, and the chosen
+    # geometry must be recorded so the run is reproducible from its
+    # summary alone.
+    auto_events = 0
+    auto_start = time.perf_counter()
+    auto_geometry = None
+    for config, wheel_result in zip(configs, serial_results):
+        auto = run_experiment(
+            dataclasses.replace(config, scheduler="wheel:auto")
+        )
+        auto_events += auto.events
+        assert auto.stats.records == wheel_result.stats.records, (
+            "wheel:auto diverged from fixed-geometry wheel"
+        )
+        geometry = auto.scheduler_info.get("geometry")
+        assert geometry, "wheel:auto did not record its geometry"
+        auto_geometry = geometry
+    auto_wall = time.perf_counter() - auto_start
+
+    events_per_sec = round(total_events / serial_wall, 1)
     return {
         "code_version": code_version(),
         "grid_cells": len(configs),
         "n_flows": configs[0].n_flows,
         "jobs": jobs,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
+        "default_scheduler": default_engine,
         "total_events": total_events,
-        "events_per_sec": round(total_events / serial_wall, 1),
+        "events_per_sec": events_per_sec,
+        # Alias of events_per_sec now that the wheel IS the default
+        # engine; kept so cross-PR diffs and the hotpath gate have a
+        # stable key.
+        "events_per_sec_wheel": events_per_sec,
         "serial_wall_s": round(serial_wall, 3),
         "per_scheme_wall_s": {
             lb: round(wall, 3) for lb, wall in per_scheme_wall.items()
         },
         "parallel_cold_wall_s": round(cold_wall, 3),
-        "parallel_speedup": round(serial_wall / cold_wall, 2),
+        "parallel_speedup": parallel_speedup,
+        "parallel_speedup_skipped": parallel_speedup_skipped,
         "warm_cache_wall_s": round(warm_wall, 3),
         "warm_cache_fraction_of_cold": round(warm_wall / cold_wall, 4),
         "events_per_sec_traced": round(traced_events / traced_wall, 1),
         "traced_wall_s": round(traced_wall, 3),
         "tracing_overhead_x": round(traced_wall / serial_wall, 3),
-        "events_per_sec_wheel": round(wheel_events / wheel_wall, 1),
-        "wheel_wall_s": round(wheel_wall, 3),
-        "wheel_speedup_x": round(serial_wall / wheel_wall, 3),
+        "events_per_sec_heap": round(heap_events / heap_wall, 1),
+        "heap_wall_s": round(heap_wall, 3),
+        "wheel_speedup_x": round(heap_wall / serial_wall, 3),
+        "events_per_sec_wheel_auto": round(auto_events / auto_wall, 1),
+        "wheel_auto_wall_s": round(auto_wall, 3),
+        "wheel_auto_geometry": auto_geometry,
     }
 
 
@@ -239,10 +302,19 @@ def test_perf_core_smoke(tmp_path):
     assert main(["--smoke", "--jobs", "2", "--out", str(out)]) == 0
     report = json.loads(out.read_text())
     assert report["grid_cells"] == 4
+    assert report["default_scheduler"] == "wheel"
     assert report["events_per_sec"] > 0
-    assert report["events_per_sec_wheel"] > 0
+    assert report["events_per_sec_heap"] > 0
+    assert report["wheel_auto_geometry"] is not None
     # A warm rerun must come from the cache, far faster than simulating.
     assert report["warm_cache_fraction_of_cold"] < 0.5
+    # The speedup field is either a real multi-core number or an
+    # explicit skip — never a misleading 1-core artifact.
+    if report["cpu_count"] < 2:
+        assert report["parallel_speedup"] is None
+        assert report["parallel_speedup_skipped"]
+    else:
+        assert report["parallel_speedup"] is not None
 
 
 if __name__ == "__main__":

@@ -54,12 +54,14 @@ def _common_parser() -> argparse.ArgumentParser:
     by ``trace run``, and ``cache`` uses none of the run-shape flags).
     """
     common = argparse.ArgumentParser(add_help=False)
-    common.add_argument("--scheduler", choices=["heap", "wheel"],
+    common.add_argument("--scheduler",
+                        choices=["heap", "wheel", "wheel:auto"],
                         default=None,
                         help="event-queue engine (default: the config's, "
-                             "normally heap; results are bit-identical, "
-                             "wheel is faster; $REPRO_SCHEDULER overrides "
-                             "everything)")
+                             "normally wheel; results are bit-identical "
+                             "across all engines; wheel:auto derives the "
+                             "slot geometry from the topology; "
+                             "$REPRO_SCHEDULER overrides everything)")
     common.add_argument("--jobs", type=_positive_int, default=None,
                         help="worker processes for multi-cell runs "
                              "(default: $REPRO_JOBS, else all cores); "

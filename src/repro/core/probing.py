@@ -24,7 +24,7 @@ from typing import Dict, Optional, TYPE_CHECKING
 
 from repro.core.parameters import HermesParams
 from repro.core.sensing import HermesLeafState
-from repro.net.packet import PROBE_BYTES, Packet, make_probe
+from repro.net.packet import PROBE_BYTES, Packet
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.fabric import Fabric
@@ -91,7 +91,9 @@ class HermesProber:
 
     def _send_probe(self, dst_leaf: int, path: int) -> None:
         dst_agent = next(iter(self.topology.hosts_of_leaf(dst_leaf)))
-        probe = make_probe(0, self.agent_host, dst_agent, path, self.sim.now)
+        probe = self.fabric.packet_pool.probe(
+            0, self.agent_host, dst_agent, path, self.sim.now
+        )
         self.probes_sent += 1
         self.fabric.send(probe)
 

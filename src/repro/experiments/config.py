@@ -7,7 +7,7 @@ from typing import Any, Dict, Optional
 
 from repro.faults.spec import FaultEventSpec, FaultScheduleSpec
 from repro.net.topology import TopologyConfig
-from repro.sim.engine import SCHEDULERS, seconds
+from repro.sim.engine import DEFAULT_SCHEDULER, SCHEDULERS, seconds
 
 TRANSPORTS = ("dctcp", "tcp")
 FAILURE_KINDS = ("random_drop", "blackhole")
@@ -95,9 +95,13 @@ class ExperimentConfig:
             per hook site.  ``REPRO_TRACE=1`` forces it on for every
             run; traced runs always bypass the result cache (a cached
             summary carries no telemetry).
-        scheduler: event-queue engine, ``"heap"`` (binary heap, the
-            original) or ``"wheel"`` (slotted timer wheel — faster, bit-
-            identical results).  ``REPRO_SCHEDULER`` overrides every
+        scheduler: event-queue engine: ``"wheel"`` (slotted timer wheel,
+            the default — fastest), ``"wheel:auto"`` (wheel with slot
+            geometry derived from the topology's link rates and the run's
+            time scale, recorded in the result), or ``"heap"`` (binary
+            heap, the original engine).  All three produce bit-identical
+            results (enforced by the golden grid and the scheduler-
+            differential suite).  ``REPRO_SCHEDULER`` overrides every
             config (and bypasses the result cache).  Not part of the
             result, only of how fast it is computed — but kept in the
             cache key so A/B benches never share entries.
@@ -123,7 +127,7 @@ class ExperimentConfig:
     visibility_sampling: bool = False
     validate: bool = False
     trace: bool = False
-    scheduler: str = "heap"
+    scheduler: str = DEFAULT_SCHEDULER
 
     def __post_init__(self) -> None:
         if self.transport not in TRANSPORTS:

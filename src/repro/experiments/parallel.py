@@ -92,6 +92,9 @@ class ResultSummary:
     detection_ns: Optional[int] = None
     recovery_ns: Optional[int] = None
     unrecovered_timeouts: int = 0
+    #: Engine that ran the cell (+ derived wheel geometry for
+    #: ``wheel:auto``) — see :attr:`ExperimentResult.scheduler_info`.
+    scheduler_info: Dict[str, Any] = dataclasses.field(default_factory=dict)
     #: Why the cell produced no result (``None`` for a successful run).
     #: Set for cells that exceeded ``REPRO_CELL_TIMEOUT``; failed cells
     #: are never written to the cache.
@@ -120,6 +123,7 @@ class ResultSummary:
             detection_ns=result.detection_ns,
             recovery_ns=result.recovery_ns,
             unrecovered_timeouts=result.unrecovered_timeouts,
+            scheduler_info=result.scheduler_info,
         )
 
 

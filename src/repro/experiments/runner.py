@@ -17,7 +17,14 @@ from repro.net.failures import (
     RandomDropFailure,
     blackhole_pairs_between_racks,
 )
-from repro.sim.engine import Simulator, make_simulator, microseconds, scheduler_forced
+from repro.sim.engine import (
+    Simulator,
+    make_simulator,
+    microseconds,
+    resolve_scheduler,
+    scheduler_forced,
+)
+from repro.sim.tuning import wheel_geometry_for
 from repro.sim.rng import RngStreams
 from repro.transport.dctcp import DctcpFlow
 from repro.transport.tcp import TcpFlow
@@ -56,6 +63,10 @@ class ExperimentResult:
     #: Flows that suffered timeouts and were still unfinished at the end
     #: of the run — the signature of a scheme that never recovered.
     unrecovered_timeouts: int = 0
+    #: Which engine actually ran the cell (after env resolution) and, for
+    #: ``wheel:auto``, the derived slot geometry — everything needed to
+    #: reproduce the run's scheduling exactly from the summary alone.
+    scheduler_info: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def mean_fct_ms(self) -> float:
@@ -99,9 +110,22 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     past the last arrival, whichever comes first; flows still active then
     are reported as unfinished.
     """
-    # REPRO_SCHEDULER (inside make_simulator) overrides the config, the
-    # same way REPRO_VALIDATE/REPRO_TRACE override their flags.
-    sim = make_simulator(config.scheduler)
+    # REPRO_SCHEDULER overrides the config, the same way REPRO_VALIDATE/
+    # REPRO_TRACE override their flags.  ``wheel:auto`` derives its slot
+    # geometry from the topology + time scale (pure function — the same
+    # config always builds the same wheel).
+    scheduler_name = resolve_scheduler(config.scheduler)
+    scheduler_info: Dict[str, Any] = {"name": scheduler_name}
+    if scheduler_name == "wheel:auto":
+        geometry = wheel_geometry_for(config.topology, config.time_scale)
+        scheduler_info["geometry"] = geometry.to_dict()
+        sim = make_simulator(
+            scheduler_name,
+            slot_ns_bits=geometry.slot_ns_bits,
+            num_slot_bits=geometry.num_slot_bits,
+        )
+    else:
+        sim = make_simulator(scheduler_name)
     rng = RngStreams(config.seed)
     fabric = Fabric(sim, config.topology, rng)
     checker = None
@@ -275,6 +299,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         detection_ns=detection_ns,
         recovery_ns=recovery_ns,
         unrecovered_timeouts=unrecovered,
+        scheduler_info=scheduler_info,
     )
 
 

@@ -121,11 +121,15 @@ class HookSet:
             fabric.sim._checker = checker
             for port in fabric.topology.all_ports():
                 checker.watch_port(port)
+                port._refresh_fast_path()
+            fabric._refresh_fast_path()
             self._occupants["checker"] = checker
         if tracer is not None and self._occupants["tracer"] is None:
             fabric._tracer = tracer
             for port in fabric.topology.all_ports():
                 port._tracer = tracer
+                port._refresh_fast_path()
+            fabric._refresh_fast_path()
             self._occupants["tracer"] = tracer
         if profiler is not None and self._occupants["profiler"] is None:
             fabric.sim._profiler = profiler
@@ -174,11 +178,15 @@ class HookSet:
             fabric.sim._checker = None
             for port in fabric.topology.all_ports():
                 port._checker = None
+                port._refresh_fast_path()
+            fabric._refresh_fast_path()
             self._occupants["checker"] = None
         if tracer and self._occupants["tracer"] is not None:
             fabric._tracer = None
             for port in fabric.topology.all_ports():
                 port._tracer = None
+                port._refresh_fast_path()
+            fabric._refresh_fast_path()
             self._occupants["tracer"] = None
         if profiler and self._occupants["profiler"] is not None:
             fabric.sim._profiler = None

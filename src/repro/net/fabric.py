@@ -12,7 +12,7 @@ from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.hooks import HookSet
 from repro.net.host import Host
-from repro.net.packet import Packet
+from repro.net.packet import Packet, PacketPool
 from repro.net.topology import LeafSpineTopology, TopologyConfig
 from repro.sim.engine import Simulator, _HOOK_DEPRECATION
 from repro.sim.rng import RngStreams
@@ -53,6 +53,17 @@ class Fabric:
         #: single hook site both the structured tracer and the
         #: :class:`~repro.net.trace.PacketTracer` shim attach to.
         self._tracer = None
+        #: Free list for DATA/ACK/probe packets.  Transports and probers
+        #: *acquire* from here unconditionally; the fabric *releases* a
+        #: packet at its end of life (delivered or dropped) — but only on
+        #: the unobserved fast path, because the invariant checker tracks
+        #: packets by identity and tracers may keep references in flight
+        #: records.  With hooks attached the free list simply never
+        #: refills, and every acquire falls through to a fresh Packet.
+        self.packet_pool = PacketPool()
+        #: Precomputed hooks-off flag for the send/forward hot path (and
+        #: the packet-release gate).  Kept honest by _refresh_fast_path().
+        self._fast = True
         #: The unified attach/detach surface for all observability hooks
         #: (checker / tracer / audit / profiler) — see :mod:`repro.hooks`.
         self.hooks = HookSet(self)
@@ -75,6 +86,7 @@ class Fabric:
     def checker(self, value) -> None:
         warnings.warn(_HOOK_DEPRECATION, DeprecationWarning, stacklevel=2)
         self._checker = value
+        self._refresh_fast_path()
 
     @property
     def tracer(self):
@@ -85,6 +97,12 @@ class Fabric:
     def tracer(self, value) -> None:
         warnings.warn(_HOOK_DEPRECATION, DeprecationWarning, stacklevel=2)
         self._tracer = value
+        self._refresh_fast_path()
+
+    def _refresh_fast_path(self) -> None:
+        """Recompute the hooks-off flag (called by the HookSet and the
+        deprecated setters whenever a hook is attached or detached)."""
+        self._fast = self._checker is None and self._tracer is None
 
     # ------------------------------------------------------------------ #
     # Flow registry
@@ -114,9 +132,19 @@ class Fabric:
     # ------------------------------------------------------------------ #
 
     def send(self, packet: Packet) -> bool:
-        """Inject a packet at its source host over ``packet.path_id``."""
+        """Inject a packet at its source host over ``packet.path_id``.
+
+        On the unobserved fast path a dropped packet is released to the
+        pool immediately — the sender forfeits the reference either way
+        (exactly like a real NIC: losses surface only through timeouts).
+        """
         packet.route = self.topology.route(packet.src, packet.dst, packet.path_id)
         packet.hop = 0
+        if self._fast:
+            accepted = packet.route[0].enqueue(packet)
+            if not accepted:
+                self.packet_pool.release(packet)
+            return accepted
         if self._checker is not None:
             self._checker.on_send(packet)
         accepted = packet.route[0].enqueue(packet)
@@ -125,7 +153,22 @@ class Fabric:
         return accepted
 
     def forward(self, packet: Packet) -> None:
-        """Advance a packet one hop (port callback after propagation)."""
+        """Advance a packet one hop (port callback after propagation).
+
+        End of life happens here: a packet dropped mid-route or handed to
+        its destination host goes back to the pool (fast path only — see
+        :attr:`packet_pool` for why hooks suspend recycling).
+        """
+        if self._fast:
+            hop = packet.hop + 1
+            packet.hop = hop
+            if hop < len(packet.route):
+                if not packet.route[hop].enqueue(packet):
+                    self.packet_pool.release(packet)
+            else:
+                self.hosts[packet.dst].receive(packet)
+                self.packet_pool.release(packet)
+            return
         if self._tracer is not None:
             self._tracer.on_forward(packet)
         packet.hop += 1

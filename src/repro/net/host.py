@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional, TYPE_CHECKING
 
-from repro.net.packet import Packet, PacketKind, make_probe_reply
+from repro.net.packet import Packet, PacketKind
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.lb.base import LoadBalancer
@@ -49,7 +49,7 @@ class Host:
             if flow is not None:
                 flow.on_ack(packet)
         elif kind == PacketKind.PROBE:
-            reply = make_probe_reply(packet)
+            reply = self.fabric.packet_pool.probe_reply(packet)
             self.fabric.send(reply)
         elif kind == PacketKind.PROBE_REPLY:
             if self.probe_sink is not None:

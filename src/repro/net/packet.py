@@ -112,6 +112,155 @@ class Packet:
         )
 
 
+def clone_packet(packet: Packet) -> Packet:
+    """A plain (never pooled) field-for-field copy.
+
+    Used where a component must *retain* packet state past the deliver/
+    drop point — e.g. the reorder-masking receiver's gap timer — without
+    holding the live object that the fabric's pool may recycle.
+    """
+    copy = Packet(
+        flow_id=packet.flow_id,
+        src=packet.src,
+        dst=packet.dst,
+        seq=packet.seq,
+        size=packet.size,
+        kind=packet.kind,
+        path_id=packet.path_id,
+        ecn_capable=packet.ecn_capable,
+        priority=packet.priority,
+    )
+    copy.ack_seq = packet.ack_seq
+    copy.ce = packet.ce
+    copy.ece = packet.ece
+    copy.ts_echo = packet.ts_echo
+    copy.is_retx = packet.is_retx
+    copy.conga_metric = packet.conga_metric
+    return copy
+
+
+class PacketPool:
+    """Free list of :class:`Packet` objects.
+
+    Ownership contract (see DESIGN.md "Pooling lifecycle"): a packet
+    belongs to the fabric from ``send()`` until it is delivered or
+    dropped.  At that point the fabric releases it back here, and **no
+    component may retain the reference** — copy the scalars you need (as
+    every load balancer and transport already does) or
+    :func:`clone_packet` it.  Pooling is bypassed entirely while
+    observation hooks (checker/tracer) are attached, because the
+    invariant checker tracks packets by identity.
+    """
+
+    __slots__ = ("_free", "allocated", "reused", "released")
+
+    def __init__(self) -> None:
+        self._free: list = []
+        #: Fresh constructions (pool was empty).
+        self.allocated = 0
+        #: Acquisitions served from the free list.
+        self.reused = 0
+        #: Packets returned via :meth:`release`.
+        self.released = 0
+
+    def acquire(
+        self,
+        flow_id: int,
+        src: int,
+        dst: int,
+        seq: int,
+        size: int,
+        kind: int,
+        path_id: int = -1,
+        ecn_capable: bool = True,
+        priority: int = PRIO_LOW,
+    ) -> Packet:
+        """A packet with *every* field reset — bit-for-bit what the
+        ``Packet`` constructor would produce."""
+        free = self._free
+        if free:
+            self.reused += 1
+            packet = free.pop()
+            packet.flow_id = flow_id
+            packet.src = src
+            packet.dst = dst
+            packet.seq = seq
+            packet.size = size
+            packet.kind = kind
+            packet.ack_seq = -1
+            packet.path_id = path_id
+            packet.ecn_capable = ecn_capable
+            packet.ce = False
+            packet.ece = False
+            packet.ts_echo = 0
+            packet.is_retx = False
+            packet.priority = priority
+            packet.conga_metric = 0
+            packet.route = ()
+            packet.hop = 0
+            return packet
+        self.allocated += 1
+        return Packet(
+            flow_id, src, dst, seq, size, kind,
+            path_id=path_id, ecn_capable=ecn_capable, priority=priority,
+        )
+
+    def release(self, packet: Packet) -> None:
+        """Return a packet to the free list.  The caller forfeits the
+        reference; the route tuple is dropped so ports are not pinned."""
+        packet.route = ()
+        self.released += 1
+        self._free.append(packet)
+
+    # ------------------------------------------------------------------ #
+    # Control-packet construction (pooled mirrors of the make_* builders)
+    # ------------------------------------------------------------------ #
+
+    def ack(self, data: Packet, ack_seq: int, now: int) -> Packet:
+        """Pooled :func:`make_ack`."""
+        ack = self.acquire(
+            data.flow_id, data.dst, data.src, data.seq, ACK_BYTES,
+            PacketKind.ACK, path_id=data.path_id, ecn_capable=False,
+            priority=PRIO_HIGH,
+        )
+        ack.ack_seq = ack_seq
+        ack.ece = data.ce
+        ack.ts_echo = data.ts_echo
+        ack.is_retx = data.is_retx
+        ack.conga_metric = data.conga_metric
+        return ack
+
+    def probe(
+        self, probe_id: int, src: int, dst: int, path_id: int, now: int
+    ) -> Packet:
+        """Pooled :func:`make_probe`."""
+        probe = self.acquire(
+            probe_id, src, dst, -1, PROBE_BYTES, PacketKind.PROBE,
+            path_id=path_id, ecn_capable=True, priority=PRIO_LOW,
+        )
+        probe.ts_echo = now
+        return probe
+
+    def probe_reply(self, probe: Packet) -> Packet:
+        """Pooled :func:`make_probe_reply`."""
+        reply = self.acquire(
+            probe.flow_id, probe.dst, probe.src, -1, PROBE_BYTES,
+            PacketKind.PROBE_REPLY, path_id=probe.path_id,
+            ecn_capable=False, priority=PRIO_HIGH,
+        )
+        reply.ece = probe.ce
+        reply.ts_echo = probe.ts_echo
+        return reply
+
+    def stats(self) -> dict:
+        return {
+            "allocated": self.allocated,
+            "reused": self.reused,
+            "released": self.released,
+            "free": len(self._free),
+        }
+
+
 def make_ack(data: Packet, ack_seq: int, now: int) -> Packet:
     """Build the ACK for a received data packet.
 

@@ -31,6 +31,53 @@ NUM_PRIORITIES = 2
 DRE_QUANTA = 7
 
 
+class _DropPredicateList(list):
+    """A ``list`` that keeps its port's fast-path flag honest.
+
+    Failure injection mutates ``port.drop_predicates`` directly
+    (``append``/``remove``); routing every mutation through the port
+    would break the public surface, so the list itself notifies the port
+    — the enqueue hot path then needs only one precomputed boolean
+    (``_guarded``) instead of re-deriving "is anything watching?" per
+    packet.
+    """
+
+    __slots__ = ("_port",)
+
+    def __init__(self, port: "OutputPort") -> None:
+        super().__init__()
+        self._port = port
+
+    def append(self, item) -> None:
+        super().append(item)
+        self._port._refresh_fast_path()
+
+    def extend(self, items) -> None:
+        super().extend(items)
+        self._port._refresh_fast_path()
+
+    def insert(self, index, item) -> None:
+        super().insert(index, item)
+        self._port._refresh_fast_path()
+
+    def remove(self, item) -> None:
+        super().remove(item)
+        self._port._refresh_fast_path()
+
+    def pop(self, index=-1):
+        item = super().pop(index)
+        self._port._refresh_fast_path()
+        return item
+
+    def clear(self) -> None:
+        super().clear()
+        self._port._refresh_fast_path()
+
+    def __delitem__(self, index) -> None:
+        super().__delitem__(index)
+        self._port._refresh_fast_path()
+
+
 class OutputPort:
     """A unidirectional link with a strict-priority drop-tail queue.
 
@@ -55,7 +102,9 @@ class OutputPort:
         "_rate_den",
         "_tx_cache",
         "_schedule",
+        "_schedule_pooled",
         "_reschedule",
+        "_guarded",
         "_tx_event",
         "_inflight",
         "prop_delay_ns",
@@ -105,6 +154,7 @@ class OutputPort:
         self._rate_num, self._rate_den = rate_bps.as_integer_ratio()
         self._tx_cache: dict = {}
         self._schedule = sim.schedule  # bound-method cache for the hot path
+        self._schedule_pooled = sim.schedule_pooled
         self._reschedule = sim.reschedule
         # Batched tx chain: one persistent completion event is re-armed
         # for every packet this port serializes (no per-packet Event
@@ -121,7 +171,9 @@ class OutputPort:
         #: Admin-down (scheduled ``link_down``): new arrivals are dropped,
         #: queued packets stall, the in-flight packet drains normally.
         self.admin_down = False
-        self.drop_predicates: List[Callable[[Packet, int], bool]] = []
+        self.drop_predicates: List[Callable[[Packet, int], bool]] = (
+            _DropPredicateList(self)
+        )
         # Statistics.
         self.bytes_sent = 0
         self.pkts_sent = 0
@@ -142,6 +194,11 @@ class OutputPort:
         #: Optional tracer (see :mod:`repro.telemetry`): receives drop
         #: callbacks; same nullable zero-cost pattern.
         self._tracer = None
+        #: Precomputed "anything watching or failing?" flag: True while
+        #: admin-down, drop predicates, a checker or a tracer require the
+        #: slow enqueue path.  Kept honest by _refresh_fast_path(),
+        #: called from every site that flips one of those inputs.
+        self._guarded = False
 
     # ------------------------------------------------------------------ #
     # Legacy hook attributes (deprecated setters; see repro.hooks)
@@ -157,6 +214,7 @@ class OutputPort:
     def checker(self, value) -> None:
         warnings.warn(_HOOK_DEPRECATION, DeprecationWarning, stacklevel=2)
         self._checker = value
+        self._refresh_fast_path()
 
     @property
     def tracer(self):
@@ -168,6 +226,18 @@ class OutputPort:
     def tracer(self, value) -> None:
         warnings.warn(_HOOK_DEPRECATION, DeprecationWarning, stacklevel=2)
         self._tracer = value
+        self._refresh_fast_path()
+
+    def _refresh_fast_path(self) -> None:
+        """Recompute the enqueue guard flag.  Every input that can force
+        the slow path funnels through here: admin state, failure
+        predicates, and hook attachment (including the HookSet layer)."""
+        self._guarded = (
+            self.admin_down
+            or bool(self.drop_predicates)
+            or self._checker is not None
+            or self._tracer is not None
+        )
 
     # ------------------------------------------------------------------ #
     # Enqueue / transmit
@@ -193,7 +263,40 @@ class OutputPort:
         Returns ``False`` if the packet was dropped (buffer overflow or an
         injected failure); the caller never learns which — exactly like a
         real network, losses surface only through transport timeouts.
+
+        The common case — link up, no failure predicates, no hooks — is
+        precomputed into ``_guarded`` so the hot path pays one local
+        truthiness check instead of four attribute probes per packet.
+        Check order (overflow, then ECN) matches the guarded path
+        exactly, so results are identical.
         """
+        if self._guarded:
+            return self._enqueue_guarded(packet)
+        size = packet.size
+        backlog = self.backlog_bytes + size
+        if backlog > self.buffer_bytes:
+            self.drops_overflow += 1
+            return False
+        if (
+            self.ecn_threshold_bytes > 0
+            and packet.ecn_capable
+            and self.backlog_bytes >= self.ecn_threshold_bytes
+        ):
+            packet.ce = True
+            self.ecn_marks += 1
+        self.backlog_bytes = backlog
+        if backlog > self.max_backlog:
+            self.max_backlog = backlog
+        kind = packet.kind
+        if kind == PacketKind.DATA or kind == PacketKind.UDP:
+            self.data_bytes_enqueued += size
+        self._queues[packet.priority].append(packet)
+        if not self.busy:
+            self._start_next()
+        return True
+
+    def _enqueue_guarded(self, packet: Packet) -> bool:
+        """Full enqueue: admin state, failure predicates, hooks."""
         if self.admin_down:
             self.drops_linkdown += 1
             if self._checker is not None:
@@ -286,7 +389,9 @@ class OutputPort:
         if self._checker is not None:
             self._checker.on_tx_done(self, packet)
         if self.forward is not None:
-            self._schedule(self.prop_delay_ns, self.forward, packet)
+            # Fire-and-forget: nobody holds the propagation event handle,
+            # so it cycles through the engine's free list.
+            self._schedule_pooled(self.prop_delay_ns, self.forward, packet)
         self._start_next()
 
     # ------------------------------------------------------------------ #
@@ -320,6 +425,7 @@ class OutputPort:
         if down == self.admin_down:
             return
         self.admin_down = down
+        self._refresh_fast_path()
         if not down and not self.busy:
             self._start_next()
 

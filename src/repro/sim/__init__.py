@@ -7,6 +7,7 @@ higher layers (network, transport, load balancers) are built on top of it.
 """
 
 from repro.sim.engine import (
+    DEFAULT_SCHEDULER,
     SCHEDULERS,
     Event,
     Simulator,
@@ -16,6 +17,11 @@ from repro.sim.engine import (
     scheduler_forced,
 )
 from repro.sim.rng import RngStreams
+from repro.sim.tuning import (
+    WheelGeometry,
+    refine_wheel_geometry,
+    wheel_geometry_for,
+)
 
 __all__ = [
     "Event",
@@ -23,7 +29,11 @@ __all__ = [
     "WheelSimulator",
     "RngStreams",
     "SCHEDULERS",
+    "DEFAULT_SCHEDULER",
+    "WheelGeometry",
     "make_simulator",
+    "refine_wheel_geometry",
     "resolve_scheduler",
     "scheduler_forced",
+    "wheel_geometry_for",
 ]

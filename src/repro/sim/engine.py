@@ -41,8 +41,16 @@ NS_PER_SEC = 1_000_000_000
 #: The engine's total dispatch order, as a C-level key extractor.
 _TIME_SEQ = attrgetter("time", "seq")
 
-#: Known scheduler names (see :func:`make_simulator`).
-SCHEDULERS = ("heap", "wheel")
+#: Known scheduler names (see :func:`make_simulator`).  ``wheel:auto`` is
+#: the calendar wheel with slot geometry derived from the run's topology
+#: (see :mod:`repro.sim.tuning`) instead of the fixed defaults.
+SCHEDULERS = ("heap", "wheel", "wheel:auto")
+
+#: The engine built when nothing asks for a specific one.  The wheel is
+#: bit-identical to the heap (enforced by the golden grid and the
+#: scheduler-differential suite) and ~25%+ faster, so it is the default;
+#: ``"heap"`` stays selectable per config or via ``REPRO_SCHEDULER``.
+DEFAULT_SCHEDULER = "wheel"
 
 #: Deprecation message prefix shared by every legacy hook attribute —
 #: the CI test job promotes exactly this prefix to an error.
@@ -76,9 +84,15 @@ class Event:
     re-armed with :meth:`Simulator.reschedule`, which reuses the object
     instead of allocating a new one — the batched port-drain chain and
     the periodic samplers live on this.
+
+    ``poolable`` marks fire-and-forget events created through
+    :meth:`Simulator.schedule_pooled`: the scheduling site promises that
+    no one retains the handle once the event has fired (without re-arming
+    itself) or been cancelled, so the engine may recycle the object
+    through its free list instead of leaving it to the allocator.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "poolable")
 
     def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
         self.time = time
@@ -86,6 +100,7 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.poolable = False
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
@@ -124,6 +139,12 @@ class Simulator:
         self._events_fired: int = 0
         self._running = False
         self._stop_requested = False
+        #: Free list of recycled :class:`Event` objects (see
+        #: :meth:`schedule_pooled`).  Fired/cancelled poolable events land
+        #: here instead of the allocator; the next pooled schedule reuses
+        #: them.  Dispatch order is untouched — pooling only changes where
+        #: the object's memory comes from.
+        self._event_pool: list[Event] = []
         #: Optional invariant checker (see :mod:`repro.validate`).  When
         #: ``None`` — the default — the event loop pays one predictable
         #: branch per event and nothing else.  Attach via
@@ -169,6 +190,34 @@ class Simulator:
         if delay_ns < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay_ns})")
         event = Event(self.now + delay_ns, self._seq, fn, args)
+        self._seq += 1
+        heappush(self._queue, event)
+        return event
+
+    def schedule_pooled(self, delay_ns: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule a *fire-and-forget* event through the free list.
+
+        Semantics are identical to :meth:`schedule` (same clock, same
+        sequence-number draw, same dispatch order).  The contract is on
+        the caller: the returned handle must not be retained past the
+        event firing (unless the callback re-arms the same event) or
+        being cancelled — once either happens the engine recycles the
+        object and a later ``schedule_pooled`` may hand it out again.
+        The packet-propagation and RTO-timer hot paths live on this.
+        """
+        if delay_ns < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay_ns})")
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event.time = self.now + delay_ns
+            event.seq = self._seq
+            event.fn = fn
+            event.args = args
+            event.cancelled = False
+        else:
+            event = Event(self.now + delay_ns, self._seq, fn, args)
+            event.poolable = True
         self._seq += 1
         heappush(self._queue, event)
         return event
@@ -250,7 +299,10 @@ class Simulator:
     def peek_time(self) -> Optional[int]:
         """Time of the next live event, or ``None`` if the queue is empty."""
         while self._queue and self._queue[0].cancelled:
-            heappop(self._queue)
+            event = heappop(self._queue)
+            if event.poolable:
+                event.args = ()
+                self._event_pool.append(event)
         return self._queue[0].time if self._queue else None
 
     def stop(self) -> None:
@@ -285,6 +337,7 @@ class Simulator:
             )
         queue = self._queue
         pop = heappop
+        pool = self._event_pool
         horizon = _NEVER if until is None else until
         limit = _NEVER if max_events is None else max_events
         checker = self._checker
@@ -297,6 +350,9 @@ class Simulator:
                 event = queue[0]
                 if event.cancelled:
                     pop(queue)
+                    if event.poolable:
+                        event.args = ()
+                        pool.append(event)
                     continue
                 if event.time > horizon or fired >= limit:
                     break
@@ -307,7 +363,13 @@ class Simulator:
                 fired += 1
                 if profiler is not None:
                     profiler.on_event(event)
+                seq = event.seq
                 event.fn(*event.args)
+                # Recycle unless the callback re-armed its own event (a
+                # re-arm draws a fresh sequence number).
+                if event.poolable and event.seq == seq:
+                    event.args = ()
+                    pool.append(event)
                 if self._stop_requested:
                     break
         finally:
@@ -320,6 +382,7 @@ class Simulator:
     def reset(self) -> None:
         """Drop all pending events and rewind the clock to zero."""
         self._queue.clear()
+        self._event_pool.clear()
         self.now = 0
         self._seq = 0
         self._events_fired = 0
@@ -374,6 +437,14 @@ class WheelSimulator(Simulator):
         self._bucket_pos = 0
         #: Far-future events, ordered by Event.__lt__ == (time, seq).
         self._overflow: list[Event] = []
+        # Lazy purge of cancelled events: a schedule/cancel churn workload
+        # (rapid RTO re-arms, abandoned timers) would otherwise grow slot
+        # lists and the overflow heap without bound until the cursor
+        # reaches them.  When a container crosses its threshold the dead
+        # events are filtered out in place; thresholds double when a purge
+        # finds mostly-live events, keeping the cost amortized O(1).
+        self._slot_purge_at = 512
+        self._overflow_purge_at = 256
         # Occupancy / rollover counters, surfaced via wheel_stats() and
         # the telemetry LoopProfiler.
         self.wheel_rollovers = 0
@@ -382,6 +453,7 @@ class WheelSimulator(Simulator):
         self.wheel_cursor_jumps = 0
         self.wheel_slots_opened = 0
         self.wheel_max_bucket = 0
+        self.wheel_purged = 0
 
     # ------------------------------------------------------------------ #
     # Scheduling
@@ -392,21 +464,78 @@ class WheelSimulator(Simulator):
         cur = self._cur_slot
         if idx > cur:
             if idx - cur <= self._num_slots:
-                self._slots[idx & self._mask].append(event)
+                slot = self._slots[idx & self._mask]
+                slot.append(event)
                 self._wheel_count += 1
+                if len(slot) >= self._slot_purge_at:
+                    self._purge_slot(slot)
             else:
                 heappush(self._overflow, event)
                 self.wheel_overflow_pushes += 1
+                if len(self._overflow) >= self._overflow_purge_at:
+                    self._purge_overflow()
         else:
             # At (or before) the cursor's slot: merge into the live drain
             # bucket.  The new event's seq is the largest allocated, so
             # insort-right lands it after every equal-time event — FIFO.
             insort(self._bucket, event, lo=self._bucket_pos, key=_TIME_SEQ)
 
+    def _purge_slot(self, slot: list) -> None:
+        """Filter cancelled events out of one slot list, in place."""
+        live = [e for e in slot if not e.cancelled]
+        removed = len(slot) - len(live)
+        if removed:
+            pool = self._event_pool
+            for e in slot:
+                if e.cancelled and e.poolable:
+                    e.args = ()
+                    pool.append(e)
+            slot[:] = live
+            self._wheel_count -= removed
+            self.wheel_purged += removed
+        if removed * 4 < len(live):
+            # Mostly genuinely-live events: raise the threshold so a full
+            # slot does not trigger a fruitless O(n) sweep per append.
+            self._slot_purge_at = max(self._slot_purge_at, 2 * len(live) + 64)
+
+    def _purge_overflow(self) -> None:
+        """Filter cancelled events out of the overflow heap, in place."""
+        overflow = self._overflow
+        live = [e for e in overflow if not e.cancelled]
+        removed = len(overflow) - len(live)
+        if removed:
+            pool = self._event_pool
+            for e in overflow:
+                if e.cancelled and e.poolable:
+                    e.args = ()
+                    pool.append(e)
+            overflow[:] = live
+            heapify(overflow)
+            self.wheel_purged += removed
+        self._overflow_purge_at = max(256, 2 * len(live))
+
     def schedule(self, delay_ns: int, fn: Callable[..., Any], *args: Any) -> Event:
         if delay_ns < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay_ns})")
         event = Event(self.now + delay_ns, self._seq, fn, args)
+        self._seq += 1
+        self._insert(event)
+        return event
+
+    def schedule_pooled(self, delay_ns: int, fn: Callable[..., Any], *args: Any) -> Event:
+        if delay_ns < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay_ns})")
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event.time = self.now + delay_ns
+            event.seq = self._seq
+            event.fn = fn
+            event.args = args
+            event.cancelled = False
+        else:
+            event = Event(self.now + delay_ns, self._seq, fn, args)
+            event.poolable = True
         self._seq += 1
         self._insert(event)
         return event
@@ -442,10 +571,14 @@ class WheelSimulator(Simulator):
         shift = self._shift
         cur = self._cur_slot
         moved = 0
+        pool = self._event_pool
         while overflow:
             head = overflow[0]
             if head.cancelled:
                 heappop(overflow)
+                if head.poolable:
+                    head.args = ()
+                    pool.append(head)
                 continue
             idx = head.time >> shift
             if idx > horizon_idx:
@@ -475,8 +608,12 @@ class WheelSimulator(Simulator):
                 self._bucket.clear()
                 self._bucket_pos = 0
             overflow = self._overflow
+            pool = self._event_pool
             while overflow and overflow[0].cancelled:
-                heappop(overflow)
+                dead = heappop(overflow)
+                if dead.poolable:
+                    dead.args = ()
+                    pool.append(dead)
             if overflow:
                 horizon = self._cur_slot + self._num_slots
                 head_idx = overflow[0].time >> self._shift
@@ -531,6 +668,9 @@ class WheelSimulator(Simulator):
                 event = self._bucket[pos]
                 if event.cancelled:
                     self._bucket_pos = pos + 1
+                    if event.poolable:
+                        event.args = ()
+                        self._event_pool.append(event)
                     continue
                 return event
             if not self._advance():
@@ -566,6 +706,7 @@ class WheelSimulator(Simulator):
         self._stop_requested = False
         self._running = True
         bucket = self._bucket
+        pool = self._event_pool
         try:
             while True:
                 pos = self._bucket_pos
@@ -573,6 +714,9 @@ class WheelSimulator(Simulator):
                     event = bucket[pos]
                     if event.cancelled:
                         self._bucket_pos = pos + 1
+                        if event.poolable:
+                            event.args = ()
+                            pool.append(event)
                         continue
                     if event.time > horizon or fired >= limit:
                         break
@@ -583,7 +727,13 @@ class WheelSimulator(Simulator):
                     fired += 1
                     if profiler is not None:
                         profiler.on_event(event)
+                    seq = event.seq
                     event.fn(*event.args)
+                    # Recycle unless the callback re-armed its own event
+                    # (a re-arm draws a fresh sequence number).
+                    if event.poolable and event.seq == seq:
+                        event.args = ()
+                        pool.append(event)
                     if self._stop_requested:
                         break
                     continue
@@ -607,6 +757,8 @@ class WheelSimulator(Simulator):
         self._bucket = []
         self._bucket_pos = 0
         self._overflow = []
+        self._slot_purge_at = 512
+        self._overflow_purge_at = 256
 
     def wheel_stats(self) -> dict:
         """Occupancy / rollover counters (also surfaced by the telemetry
@@ -624,6 +776,7 @@ class WheelSimulator(Simulator):
             "cursor_jumps": self.wheel_cursor_jumps,
             "slots_opened": self.wheel_slots_opened,
             "max_bucket": self.wheel_max_bucket,
+            "purged": self.wheel_purged,
         }
 
 
@@ -634,14 +787,14 @@ class WheelSimulator(Simulator):
 
 def resolve_scheduler(scheduler: Optional[str] = None) -> str:
     """Effective scheduler name: ``REPRO_SCHEDULER`` env > argument >
-    ``"heap"``.  Raises ``ValueError`` for unknown names."""
+    :data:`DEFAULT_SCHEDULER`.  Raises ``ValueError`` for unknown names."""
     env = os.environ.get("REPRO_SCHEDULER")
     source = ""
     if env:
         scheduler = env
         source = " (from REPRO_SCHEDULER)"
     if scheduler is None:
-        scheduler = "heap"
+        scheduler = DEFAULT_SCHEDULER
     if scheduler not in SCHEDULERS:
         raise ValueError(
             f"unknown scheduler {scheduler!r}{source}; known: {SCHEDULERS}"
@@ -656,7 +809,31 @@ def scheduler_forced() -> bool:
     return bool(os.environ.get("REPRO_SCHEDULER"))
 
 
-def make_simulator(scheduler: Optional[str] = None) -> Simulator:
-    """Build the engine named by ``scheduler`` (after env resolution)."""
+def make_simulator(
+    scheduler: Optional[str] = None,
+    *,
+    slot_ns_bits: Optional[int] = None,
+    num_slot_bits: Optional[int] = None,
+) -> Simulator:
+    """Build the engine named by ``scheduler`` (after env resolution).
+
+    ``slot_ns_bits`` / ``num_slot_bits`` override the wheel geometry
+    (ignored for the heap engine); ``"wheel:auto"`` callers pass the
+    geometry computed by :func:`repro.sim.tuning.wheel_geometry_for`.
+    Without an explicit geometry, ``wheel:auto`` falls back to the fixed
+    wheel defaults — the dispatch order is identical either way.
+    """
     name = resolve_scheduler(scheduler)
-    return Simulator() if name == "heap" else WheelSimulator()
+    if name == "heap":
+        return Simulator()
+    kwargs = {}
+    if slot_ns_bits is not None:
+        kwargs["slot_ns_bits"] = slot_ns_bits
+    if num_slot_bits is not None:
+        kwargs["num_slot_bits"] = num_slot_bits
+    sim = WheelSimulator(**kwargs)
+    if name != "wheel":
+        # Instance label (shadows the class attribute) so results record
+        # which selection path produced this engine.
+        sim.scheduler = name
+    return sim

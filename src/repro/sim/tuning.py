@@ -1,0 +1,184 @@
+"""Wheel-geometry autotuning (``scheduler="wheel:auto"``).
+
+The calendar wheel has two knobs: slot width (``slot_ns_bits``) and slot
+count (``num_slot_bits``).  The fixed defaults (4096 ns x 2048 slots)
+were hand-picked for a 10 Gbps fabric at full time scale; scaled-down
+grids (the golden/bench configs run at ``time_scale=0.05``) and faster
+links shift the event-spacing distribution enough that the defaults
+leave performance on the table — slots too wide batch unrelated events
+into large sort buckets, slots too narrow make the cursor walk empty
+space.
+
+This module derives the geometry from first principles, deterministically
+(pure functions of the config — recorded in results so a run is
+reproducible from its summary alone):
+
+* **slot width** — a few MTU serialization times on the *fastest* link in
+  the topology, so one slot spans a port's back-to-back tx completions
+  and the drain chain stays slot-local;
+* **window** (slot width x slot count) — at least two RTO floors, so
+  retransmission timers land in slots instead of the overflow heap, and
+  at least one scaled millisecond for the periodic samplers.
+
+:func:`refine_wheel_geometry` closes the loop with the profiler's
+``wheel_stats()`` counters (``max_bucket``, ``cursor_jumps``) for offline
+re-tuning; it is advisory and never consulted implicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.topology import TopologyConfig
+
+MTU_BITS = 1500 * 8
+
+#: Slot-width clamp: 64 ns (finer is pointless at integer-ns precision
+#: with >= 1 ns propagation) .. 65536 ns (coarser batches whole RTTs).
+MIN_SLOT_NS_BITS = 6
+MAX_SLOT_NS_BITS = 16
+
+#: Slot-count clamp: 256 slots (window too small below this for any RTO)
+#: .. 16384 slots (1 MB of empty lists beyond this).
+MIN_NUM_SLOT_BITS = 8
+MAX_NUM_SLOT_BITS = 14
+
+#: The TCP RTO floor the window must cover (see ``TcpFlow``'s
+#: ``min_rto_ns``); scaled by the run's ``time_scale``.
+RTO_FLOOR_NS = 10_000_000
+
+
+@dataclass(frozen=True)
+class WheelGeometry:
+    """A concrete wheel shape plus the inputs that produced it."""
+
+    slot_ns_bits: int
+    num_slot_bits: int
+    #: Fastest link rate the slot width was derived from (Gbps).
+    fastest_link_gbps: float
+    #: Time scale the window was derived from.
+    time_scale: float
+
+    @property
+    def slot_ns(self) -> int:
+        return 1 << self.slot_ns_bits
+
+    @property
+    def num_slots(self) -> int:
+        return 1 << self.num_slot_bits
+
+    @property
+    def window_ns(self) -> int:
+        return 1 << (self.slot_ns_bits + self.num_slot_bits)
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly form, recorded in experiment results."""
+        return {
+            "slot_ns_bits": self.slot_ns_bits,
+            "num_slot_bits": self.num_slot_bits,
+            "slot_ns": self.slot_ns,
+            "num_slots": self.num_slots,
+            "window_ns": self.window_ns,
+            "fastest_link_gbps": self.fastest_link_gbps,
+            "time_scale": self.time_scale,
+        }
+
+
+def _clamp(value: int, lo: int, hi: int) -> int:
+    return lo if value < lo else hi if value > hi else value
+
+
+def fastest_link_gbps(config: "TopologyConfig") -> float:
+    """The highest live link rate anywhere in the fabric (overrides can
+    only lower spine links, but guard against raised ones anyway)."""
+    fastest = max(config.host_link_gbps, config.spine_link_gbps)
+    for rate in config.link_overrides.values():
+        if rate > fastest:
+            fastest = rate
+    return fastest
+
+
+def wheel_geometry_for(
+    config: "TopologyConfig", time_scale: float = 1.0
+) -> WheelGeometry:
+    """Derive the wheel geometry for a topology + time scale.
+
+    Deterministic: same inputs, same geometry, bit-identical runs.
+    """
+    rate_gbps = fastest_link_gbps(config)
+    if rate_gbps <= 0:
+        raise ValueError("topology has no positive link rate")
+    # MTU serialization time on the fastest link, in ns.
+    mtu_tx_ns = MTU_BITS / rate_gbps  # bits / (Gbps) == ns
+    # Target: ~4 back-to-back MTUs per slot, rounded to the nearest
+    # power of two (bit_length of the integer target is ceil(log2)+1 for
+    # non-powers; subtracting 1 gives floor(log2), then round up when the
+    # target sits in the upper half of the octave).
+    target = max(1, int(4 * mtu_tx_ns))
+    bits = target.bit_length() - 1
+    if target - (1 << bits) > (1 << bits) // 2:
+        bits += 1
+    slot_ns_bits = _clamp(bits, MIN_SLOT_NS_BITS, MAX_SLOT_NS_BITS)
+    # Window: cover two RTO floors (timers stay in slots) and never less
+    # than one scaled millisecond (periodic samplers).
+    window_target = max(int(2 * RTO_FLOOR_NS * time_scale), 1_000_000)
+    span_bits = 0
+    while (1 << (slot_ns_bits + span_bits)) < window_target:
+        span_bits += 1
+    num_slot_bits = _clamp(span_bits, MIN_NUM_SLOT_BITS, MAX_NUM_SLOT_BITS)
+    return WheelGeometry(
+        slot_ns_bits=slot_ns_bits,
+        num_slot_bits=num_slot_bits,
+        fastest_link_gbps=rate_gbps,
+        time_scale=time_scale,
+    )
+
+
+def refine_wheel_geometry(
+    geometry: WheelGeometry, wheel_stats: Dict, max_bucket_target: int = 512
+) -> Optional[WheelGeometry]:
+    """One offline refinement step from a finished run's counters.
+
+    Returns an adjusted geometry, or ``None`` when the counters do not
+    argue for a change:
+
+    * ``max_bucket`` far above target → slots batch too many events;
+      halve the slot width (same window: one more slot bit).
+    * ``cursor_jumps``/``slots_opened`` dominated by empty advancement
+      (more slots opened than events dispatched would justify) → slots
+      too fine; double the width.
+
+    Advisory only — ``wheel:auto`` derives its geometry statically so
+    results never depend on a previous run.
+    """
+    max_bucket = wheel_stats.get("max_bucket", 0)
+    slots_opened = max(1, wheel_stats.get("slots_opened", 0))
+    jumps = wheel_stats.get("cursor_jumps", 0)
+    if max_bucket > 2 * max_bucket_target:
+        if geometry.slot_ns_bits > MIN_SLOT_NS_BITS:
+            return WheelGeometry(
+                slot_ns_bits=geometry.slot_ns_bits - 1,
+                num_slot_bits=_clamp(
+                    geometry.num_slot_bits + 1,
+                    MIN_NUM_SLOT_BITS,
+                    MAX_NUM_SLOT_BITS,
+                ),
+                fastest_link_gbps=geometry.fastest_link_gbps,
+                time_scale=geometry.time_scale,
+            )
+        return None
+    if jumps > slots_opened // 2 and max_bucket < max_bucket_target // 4:
+        if geometry.slot_ns_bits < MAX_SLOT_NS_BITS:
+            return WheelGeometry(
+                slot_ns_bits=geometry.slot_ns_bits + 1,
+                num_slot_bits=_clamp(
+                    geometry.num_slot_bits - 1,
+                    MIN_NUM_SLOT_BITS,
+                    MAX_NUM_SLOT_BITS,
+                ),
+                fastest_link_gbps=geometry.fastest_link_gbps,
+                time_scale=geometry.time_scale,
+            )
+    return None

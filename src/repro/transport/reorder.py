@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Set, TYPE_CHECKING
 
-from repro.net.packet import Packet
+from repro.net.packet import Packet, clone_packet
 from repro.sim.engine import Event, Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -83,8 +83,11 @@ class Receiver:
             if self.mask_timeout_ns is None:
                 self.send_ack(packet, 1)  # immediate duplicate ACK
             elif self._gap_timer is None:
+                # The timer outlives the delivery: clone the packet so the
+                # template survives the fabric recycling the live object
+                # (pooling lifecycle — no retention past deliver/drop).
                 self._gap_timer = self.sim.schedule(
-                    self.mask_timeout_ns, self._flush_gap, packet
+                    self.mask_timeout_ns, self._flush_gap, clone_packet(packet)
                 )
         else:
             # Stale duplicate (e.g. spurious retransmission): ACK it so the

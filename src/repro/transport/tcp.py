@@ -17,7 +17,7 @@ from __future__ import annotations
 import zlib
 from typing import Optional, TYPE_CHECKING
 
-from repro.net.packet import HEADER_BYTES, Packet, PacketKind, make_ack
+from repro.net.packet import HEADER_BYTES, Packet, PacketKind
 from repro.sim.engine import Event
 from repro.transport.base import FlowBase
 from repro.transport.reorder import Receiver
@@ -115,7 +115,7 @@ class TcpFlow(FlowBase):
         wire = payload + HEADER_BYTES
         path = self._select_path(wire)
         self.current_path = path
-        packet = Packet(
+        packet = self.fabric.packet_pool.acquire(
             self.flow_id, self.src, self.dst, seq, wire, PacketKind.DATA,
             path_id=path, ecn_capable=self.ecn_capable,
         )
@@ -216,7 +216,10 @@ class TcpFlow(FlowBase):
     # ------------------------------------------------------------------ #
 
     def _arm_rto(self) -> None:
-        self._rto_event = self.sim.schedule(self.rto.rto_ns, self._on_rto)
+        # Pooled: the handle never outlives the event — _on_rto nulls it
+        # before anything else, _restart_rto/_complete replace or null it
+        # right after cancelling.
+        self._rto_event = self.sim.schedule_pooled(self.rto.rto_ns, self._on_rto)
 
     def _restart_rto(self) -> None:
         if self._rto_event is not None:
@@ -265,6 +268,7 @@ class TcpFlow(FlowBase):
         self.receiver.on_data(packet)
 
     def _emit_ack(self, template: Packet, copies: int) -> None:
+        pool = self.fabric.packet_pool
         for _ in range(copies):
-            ack = make_ack(template, self.receiver.rcv_next, self.sim.now)
+            ack = pool.ack(template, self.receiver.rcv_next, self.sim.now)
             self.fabric.send(ack)

@@ -11,7 +11,8 @@ from __future__ import annotations
 import zlib
 from typing import List, Optional, Tuple, TYPE_CHECKING
 
-from repro.net.packet import HEADER_BYTES, Packet, PacketKind
+from repro.net.packet import HEADER_BYTES, PacketKind
+from repro.sim.engine import Event
 from repro.transport.base import FlowBase
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -64,6 +65,10 @@ class UdpFlow(FlowBase):
             fabric.topology.leaf_of(src) == fabric.topology.leaf_of(dst)
         )
         self._fallback_path: Optional[int] = None
+        # One persistent pacing event, re-armed per tick (no per-packet
+        # Event allocation; a re-arm draws a fresh sequence number, so
+        # dispatch order is identical to scheduling a new event).
+        self._tick_event: Optional[Event] = None
 
     def start(self) -> None:
         self.start_time = self.sim.now
@@ -99,7 +104,7 @@ class UdpFlow(FlowBase):
             return
         path = self._select_path(self.packet_bytes)
         self.current_path = path
-        packet = Packet(
+        packet = self.fabric.packet_pool.acquire(
             self.flow_id, self.src, self.dst, self._seq, self.packet_bytes,
             PacketKind.UDP, path_id=path,
         )
@@ -109,7 +114,11 @@ class UdpFlow(FlowBase):
         self.last_tx_time = self.sim.now
         self._rate_add(self.packet_bytes)
         self.fabric.send(packet)
-        self.sim.schedule(self.interval_ns, self._tick)
+        event = self._tick_event
+        if event is None:
+            self._tick_event = self.sim.schedule(self.interval_ns, self._tick)
+        else:
+            self.sim.reschedule(event, self.interval_ns)
 
     # ------------------------------------------------------------------ #
     # Receiver

@@ -22,6 +22,7 @@ import pytest
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_experiment
 from repro.sim.engine import (
+    DEFAULT_SCHEDULER,
     SCHEDULERS,
     Simulator,
     WheelSimulator,
@@ -126,6 +127,26 @@ def test_env_override_rejects_garbage(monkeypatch):
 
 def test_no_override_defaults_to_config(monkeypatch):
     monkeypatch.delenv("REPRO_SCHEDULER", raising=False)
-    assert resolve_scheduler(None) == "heap"
+    assert DEFAULT_SCHEDULER == "wheel"
+    assert resolve_scheduler(None) == DEFAULT_SCHEDULER
+    assert resolve_scheduler("heap") == "heap"
     assert resolve_scheduler("wheel") == "wheel"
+    assert resolve_scheduler("wheel:auto") == "wheel:auto"
     assert not scheduler_forced()
+
+
+def test_wheel_auto_builds_labelled_wheel():
+    sim = make_simulator("wheel:auto")
+    assert type(sim) is WheelSimulator
+    assert sim.scheduler == "wheel:auto"
+    # Explicit geometry lands in the wheel shape.
+    sim = make_simulator("wheel:auto", slot_ns_bits=10, num_slot_bits=9)
+    stats = sim.wheel_stats()
+    assert stats["slot_ns"] == 1 << 10
+    assert stats["num_slots"] == 1 << 9
+
+
+def test_config_default_scheduler_is_wheel():
+    topology = golden.golden_configs()[0].topology
+    config = ExperimentConfig(topology=topology, lb="ecmp")
+    assert config.scheduler == "wheel"

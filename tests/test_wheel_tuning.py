@@ -1,0 +1,151 @@
+"""Slot-width autotuning for ``scheduler="wheel:auto"``.
+
+The geometry is derived from the topology (fastest link rate) and the
+experiment's time scale, then optionally refined from profiler counters.
+Both derivations must be deterministic pure functions — the chosen
+geometry is recorded in ``ResultSummary.scheduler_info`` so a run can be
+reproduced exactly.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+from repro.net.topology import TopologyConfig
+from repro.sim.tuning import (
+    MAX_NUM_SLOT_BITS,
+    MAX_SLOT_NS_BITS,
+    MIN_NUM_SLOT_BITS,
+    MIN_SLOT_NS_BITS,
+    WheelGeometry,
+    fastest_link_gbps,
+    refine_wheel_geometry,
+    wheel_geometry_for,
+)
+from repro.validate import golden
+
+
+def _topo(**kwargs) -> TopologyConfig:
+    base = dict(n_leaves=2, n_spines=2, hosts_per_leaf=2)
+    base.update(kwargs)
+    return TopologyConfig(**base)
+
+
+def test_fastest_link_considers_overrides():
+    topo = _topo(host_link_gbps=10.0, spine_link_gbps=40.0)
+    assert fastest_link_gbps(topo) == 40.0
+    topo = _topo(link_overrides={(0, 1): 100.0})
+    assert fastest_link_gbps(topo) == 100.0
+
+
+def test_geometry_is_deterministic_and_power_of_two():
+    topo = _topo()
+    a = wheel_geometry_for(topo, time_scale=0.05)
+    b = wheel_geometry_for(topo, time_scale=0.05)
+    assert a == b
+    assert a.slot_ns == 1 << a.slot_ns_bits
+    assert a.num_slots == 1 << a.num_slot_bits
+    assert MIN_SLOT_NS_BITS <= a.slot_ns_bits <= MAX_SLOT_NS_BITS
+    assert MIN_NUM_SLOT_BITS <= a.num_slot_bits <= MAX_NUM_SLOT_BITS
+
+
+def test_faster_links_mean_finer_slots():
+    slow = wheel_geometry_for(_topo(host_link_gbps=1.0, spine_link_gbps=1.0))
+    fast = wheel_geometry_for(
+        _topo(host_link_gbps=100.0, spine_link_gbps=100.0)
+    )
+    assert fast.slot_ns_bits < slow.slot_ns_bits
+
+
+def test_window_covers_scaled_rto_floor():
+    # The wheel window must cover ~2x the (scaled) RTO floor so that
+    # retransmission timers land in slots, not the overflow heap.
+    for time_scale in (0.05, 1.0):
+        geometry = wheel_geometry_for(_topo(), time_scale=time_scale)
+        assert geometry.window_ns >= max(
+            int(2 * 10_000_000 * time_scale), 1_000_000
+        )
+
+
+def test_geometry_clamps_extremes():
+    # Absurdly slow links would want huge slots; clamp caps them.
+    crawl = wheel_geometry_for(
+        _topo(host_link_gbps=0.001, spine_link_gbps=0.001)
+    )
+    assert crawl.slot_ns_bits == MAX_SLOT_NS_BITS
+    blaze = wheel_geometry_for(
+        _topo(host_link_gbps=10_000.0, spine_link_gbps=10_000.0)
+    )
+    assert blaze.slot_ns_bits == MIN_SLOT_NS_BITS
+
+
+def test_to_dict_round_trips_the_shape():
+    geometry = wheel_geometry_for(_topo(), time_scale=0.05)
+    d = geometry.to_dict()
+    assert d["slot_ns_bits"] == geometry.slot_ns_bits
+    assert d["num_slot_bits"] == geometry.num_slot_bits
+    assert d["slot_ns"] == geometry.slot_ns
+    assert d["window_ns"] == geometry.window_ns
+
+
+def test_refine_narrows_on_crowded_buckets():
+    geometry = WheelGeometry(
+        slot_ns_bits=12, num_slot_bits=10, fastest_link_gbps=10.0,
+        time_scale=1.0,
+    )
+    crowded = {"max_bucket": 5_000, "cursor_jumps": 0, "slots_opened": 1_000}
+    refined = refine_wheel_geometry(geometry, crowded)
+    assert refined is not None
+    assert refined.slot_ns_bits < geometry.slot_ns_bits
+
+
+def test_refine_widens_on_sparse_jumpy_wheel():
+    geometry = WheelGeometry(
+        slot_ns_bits=8, num_slot_bits=10, fastest_link_gbps=10.0,
+        time_scale=1.0,
+    )
+    sparse = {"max_bucket": 3, "cursor_jumps": 900, "slots_opened": 1_000}
+    refined = refine_wheel_geometry(geometry, sparse)
+    assert refined is not None
+    assert refined.slot_ns_bits > geometry.slot_ns_bits
+
+
+def test_refine_accepts_balanced_wheel():
+    geometry = WheelGeometry(
+        slot_ns_bits=12, num_slot_bits=10, fastest_link_gbps=10.0,
+        time_scale=1.0,
+    )
+    balanced = {"max_bucket": 300, "cursor_jumps": 10, "slots_opened": 1_000}
+    assert refine_wheel_geometry(geometry, balanced) is None
+
+
+def test_refine_respects_clamps():
+    at_floor = WheelGeometry(
+        slot_ns_bits=MIN_SLOT_NS_BITS, num_slot_bits=10,
+        fastest_link_gbps=10.0, time_scale=1.0,
+    )
+    crowded = {"max_bucket": 5_000, "cursor_jumps": 0, "slots_opened": 1_000}
+    assert refine_wheel_geometry(at_floor, crowded) is None
+
+
+def test_wheel_auto_records_geometry_in_result():
+    config = dataclasses.replace(
+        golden.golden_configs()[0], scheduler="wheel:auto"
+    )
+    result = run_experiment(config)
+    info = result.scheduler_info
+    assert info["name"] == "wheel:auto"
+    expected = wheel_geometry_for(config.topology, config.time_scale)
+    assert info["geometry"] == expected.to_dict()
+
+
+def test_wheel_auto_matches_heap_records():
+    """Autotuned geometry changes timer-wheel shape only — results must
+    stay bit-identical to the heap engine."""
+    config = golden.golden_configs()[0]
+    heap = run_experiment(dataclasses.replace(config, scheduler="heap"))
+    auto = run_experiment(dataclasses.replace(config, scheduler="wheel:auto"))
+    assert heap.stats.records == auto.stats.records
+    assert heap.events == auto.events
+    assert heap.total_reroutes == auto.total_reroutes
