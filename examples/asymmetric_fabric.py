@@ -12,19 +12,16 @@ congestion mismatch.
 Run:  python examples/asymmetric_fabric.py
 """
 
-from repro.api import ExperimentConfig, bench_topology, format_table, run_experiment
+from repro.api import (
+    ExperimentConfig,
+    bench_topology,
+    format_table,
+    run_experiment,
+    scheme_names,
+    spraying_schemes,
+)
 
-SCHEMES = [
-    "ecmp",
-    "presto",
-    "drb",
-    "letflow",
-    "conga",
-    "clove-ecn",
-    "drill",
-    "flowbender",
-    "hermes",
-]
+SCHEMES = scheme_names()  # the whole factory registry, new schemes included
 
 
 def main() -> None:
@@ -38,7 +35,7 @@ def main() -> None:
     rows = []
     for scheme in SCHEMES:
         extra = {}
-        if scheme in ("presto", "drb"):
+        if scheme in spraying_schemes():
             # Paper methodology: mask reordering for the spraying schemes.
             extra["reorder_mask_us"] = 100.0
         result = run_experiment(

@@ -61,7 +61,13 @@ from repro.experiments.report import format_table
 from repro.faults.spec import FaultEventSpec, FaultScheduleSpec
 from repro.hooks import HookSet
 from repro.lb.base import LoadBalancer
-from repro.lb.factory import LB_REGISTRY, install_lb
+from repro.lb.factory import (
+    LB_REGISTRY,
+    SPRAYING_SCHEMES,
+    install_lb,
+    scheme_names,
+    spraying_schemes,
+)
 from repro.metrics.fct import FctStats, FlowRecord
 from repro.net.fabric import Fabric
 from repro.net.topology import TopologyConfig
@@ -104,7 +110,10 @@ __all__ = [
     # Extension surface: build custom harnesses and schemes on these.
     "LoadBalancer",
     "LB_REGISTRY",
+    "SPRAYING_SCHEMES",
     "install_lb",
+    "scheme_names",
+    "spraying_schemes",
     "Fabric",
     "Simulator",
     "WheelSimulator",

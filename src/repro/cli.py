@@ -21,6 +21,7 @@ from repro.experiments.parallel import (
     run_cells,
 )
 from repro.experiments.report import format_table
+from repro.lb.factory import SPRAYING_SCHEMES, scheme_names
 from repro.experiments.scenarios import (
     bench_topology,
     failure_bench_topology,
@@ -34,6 +35,10 @@ TOPOLOGIES = {
     "simulation": simulation_topology,
     "failure-bench": lambda asymmetric=False: failure_bench_topology(),
 }
+
+#: Topology builders that accept a rack-size override.
+_SIZED_TOPOLOGIES = {"bench": bench_topology,
+                     "failure-bench": failure_bench_topology}
 
 
 def _positive_int(value: str) -> int:
@@ -84,6 +89,10 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     how to run it)."""
     parser.add_argument("--topology", choices=sorted(TOPOLOGIES), default="bench")
     parser.add_argument("--asymmetric", action="store_true")
+    parser.add_argument("--hosts-per-leaf", type=_positive_int, default=None,
+                        metavar="N",
+                        help="override the rack size of the bench / "
+                             "failure-bench topologies")
     parser.add_argument("--workload", default="web-search",
                         choices=["web-search", "data-mining"])
     parser.add_argument("--load", type=float, default=0.6)
@@ -102,6 +111,11 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
                              "link_up@20ms:leaf=0,spine=1' or "
                              "'flap@2ms:leaf=0,spine=0,period=4ms,"
                              "duty=0.5,until=30ms' (times in ns/us/ms/s)")
+    parser.add_argument("--drain-ms", type=float, default=None,
+                        help="cap the post-arrival drain (default 2000); "
+                             "Fig. 16-style runs cap it so flows a "
+                             "failure-blind scheme strands register as "
+                             "unrecovered instead of limping home")
 
 
 def _apply_common(config: ExperimentConfig, args) -> ExperimentConfig:
@@ -128,7 +142,21 @@ def _config_from_args(args, lb: str) -> ExperimentConfig:
         with open(args.config) as fh:
             loaded = ExperimentConfig.from_dict(json.load(fh))
         return _apply_common(loaded, args)
-    topology = TOPOLOGIES[args.topology](asymmetric=args.asymmetric)
+    hosts_per_leaf = getattr(args, "hosts_per_leaf", None)
+    if hosts_per_leaf is not None:
+        builder = _SIZED_TOPOLOGIES.get(args.topology)
+        if builder is None:
+            raise ValueError(
+                f"--hosts-per-leaf is not supported for "
+                f"topology {args.topology!r}"
+            )
+        if args.topology == "bench":
+            topology = builder(asymmetric=args.asymmetric,
+                               hosts_per_leaf=hosts_per_leaf)
+        else:
+            topology = builder(hosts_per_leaf=hosts_per_leaf)
+    else:
+        topology = TOPOLOGIES[args.topology](asymmetric=args.asymmetric)
     failure = None
     if args.failure:
         failure = FailureSpec(kind=args.failure, spine=0,
@@ -140,10 +168,14 @@ def _config_from_args(args, lb: str) -> ExperimentConfig:
         faults = parse_schedule(args.faults)
     time_scale = args.time_scale if args.time_scale is not None else args.size_scale
     extra = {}
-    if lb in ("presto", "drb"):
+    if lb in SPRAYING_SCHEMES:
         extra["reorder_mask_us"] = (
             800.0 if topology.host_link_gbps <= 2.0 else 100.0
         )
+    if getattr(args, "drain_ms", None) is not None:
+        from repro.sim.engine import milliseconds
+
+        extra["extra_drain_ns"] = milliseconds(args.drain_ms)
     config = ExperimentConfig(
         topology=topology,
         lb=lb,
@@ -496,7 +528,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = sub.add_parser("run", help="run one experiment",
                                 parents=[common])
-    run_parser.add_argument("--lb", default="hermes")
+    run_parser.add_argument("--lb", default="hermes", metavar="SCHEME",
+                            help="load-balancing scheme (default: hermes; "
+                                 "one of: " + ", ".join(scheme_names()) + ")")
     run_parser.add_argument("--config", default=None, metavar="FILE",
                             help="load the full experiment spec from a "
                                  "JSON file (ExperimentConfig.to_dict "
@@ -507,7 +541,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     compare_parser = sub.add_parser("compare", help="race several schemes",
                                     parents=[common])
-    compare_parser.add_argument("--schemes", default="ecmp,conga,hermes")
+    compare_parser.add_argument("--schemes", default="ecmp,conga,hermes",
+                                help="comma-separated schemes to race "
+                                     "(default: ecmp,conga,hermes; known: "
+                                     + ", ".join(scheme_names()) + ")")
     _add_run_arguments(compare_parser)
     compare_parser.set_defaults(fn=cmd_compare)
 
@@ -571,7 +608,9 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run one cell with tracing on, write a trace directory",
         parents=[common],
     )
-    trace_run.add_argument("--lb", default="hermes")
+    trace_run.add_argument("--lb", default="hermes", metavar="SCHEME",
+                           help="load-balancing scheme (default: hermes; "
+                                "one of: " + ", ".join(scheme_names()) + ")")
     _add_run_arguments(trace_run)
     trace_run.add_argument("--out", default="trace-out",
                            help="trace directory (created if missing)")

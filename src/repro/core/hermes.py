@@ -35,6 +35,7 @@ class HermesLB(LoadBalancer):
     """Hermes agent for one host (the paper's hypervisor kernel module)."""
 
     name = "hermes"
+    granularity = "packet"
 
     def __init__(
         self,

@@ -161,6 +161,27 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         lb_params["params"] = params
     if config.lb == "conga" and config.time_scale != 1.0 and "aging_ns" not in lb_params:
         lb_params["aging_ns"] = max(1, int(10_000_000 * config.time_scale))
+    if config.lb in ("reps", "diffflow", "rdna"):
+        # The failure-aware zoo shares LeafPathHealth; its timers track
+        # time_scale like Hermes' failure_hold_ns and τ-sweep so scaled
+        # runs keep the same detection-vs-RTO ordering.
+        if config.time_scale != 1.0:
+            lb_params.setdefault(
+                "hold_ns", max(1, int(50_000_000 * config.time_scale))
+            )
+            lb_params.setdefault(
+                "retx_window_ns", max(1, int(10_000_000 * config.time_scale))
+            )
+        # Byte thresholds track size_scale like Hermes' S gate.
+        if config.lb == "diffflow":
+            lb_params.setdefault(
+                "threshold_bytes", max(1, int(100_000 * config.size_scale))
+            )
+        elif config.lb == "rdna":
+            lb_params.setdefault(
+                "elephant_threshold_bytes",
+                max(1, int(1_000_000 * config.size_scale)),
+            )
     shared = install_lb(fabric, config.lb, **lb_params)
     if checker is not None:
         from repro.validate import watch_leaf_states

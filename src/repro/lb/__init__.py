@@ -1,11 +1,14 @@
-"""Load balancers: the paper's baselines plus Hermes (in ``repro.core``).
+"""Load balancers: the paper's baselines plus Hermes (in ``repro.core``)
+and the post-2017 failure-aware zoo (REPS, DiffFlow, RDNA Balance).
 
 Every scheme implements the :class:`~repro.lb.base.LoadBalancer`
 interface.  Edge-based schemes (ECMP, Presto*, DRB, CLOVE-ECN,
-FlowBender, Hermes) keep per-host state; switch-based schemes (CONGA,
-LetFlow, DRILL) share their leaf switch's state between all hosts of the
-rack, which is exactly the visibility advantage the paper's Table 2
-quantifies.
+FlowBender, Hermes, REPS, DiffFlow, RDNA Balance) keep per-host state;
+switch-based schemes (CONGA, LetFlow, DRILL) share their leaf switch's
+state between all hosts of the rack, which is exactly the visibility
+advantage the paper's Table 2 quantifies.  The zoo schemes additionally
+share a per-rack :class:`~repro.lb.failaware.LeafPathHealth` failure
+table so the recovery-timeline metrics read detection times uniformly.
 """
 
 from repro.lb.base import LoadBalancer
@@ -16,7 +19,19 @@ from repro.lb.conga import CongaLB, CongaLeafState
 from repro.lb.clove import CloveEcnLB
 from repro.lb.drill import DrillLB
 from repro.lb.flowbender import FlowBenderLB
-from repro.lb.factory import make_lb, install_lb, LB_REGISTRY
+from repro.lb.failaware import LeafPathHealth
+from repro.lb.reps import RepsLB
+from repro.lb.diffflow import DiffFlowLB
+from repro.lb.rdna import RdnaBalanceLB, RdnaLeafState
+from repro.lb.factory import (
+    LB_CLASSES,
+    LB_REGISTRY,
+    SPRAYING_SCHEMES,
+    install_lb,
+    make_lb,
+    scheme_names,
+    spraying_schemes,
+)
 
 __all__ = [
     "LoadBalancer",
@@ -29,7 +44,16 @@ __all__ = [
     "CloveEcnLB",
     "DrillLB",
     "FlowBenderLB",
+    "LeafPathHealth",
+    "RepsLB",
+    "DiffFlowLB",
+    "RdnaBalanceLB",
+    "RdnaLeafState",
     "make_lb",
     "install_lb",
     "LB_REGISTRY",
+    "LB_CLASSES",
+    "SPRAYING_SCHEMES",
+    "scheme_names",
+    "spraying_schemes",
 ]

@@ -32,6 +32,13 @@ class LoadBalancer:
 
     name = "base"
 
+    #: Decision granularity the scheme claims: ``"flow"`` (one path per
+    #: flow unless rerouted), ``"flowlet"``/``"flowcell"`` (path changes
+    #: at idle-gap/cell boundaries), or ``"packet"`` (every packet may
+    #: take a different path).  The cross-scheme conformance suite turns
+    #: this claim into reordering expectations.
+    granularity = "flow"
+
     def __init__(self, host: "Host", fabric: "Fabric", rng: random.Random) -> None:
         self.host = host
         self.fabric = fabric

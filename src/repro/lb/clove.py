@@ -25,6 +25,7 @@ class CloveEcnLB(LoadBalancer):
     """Per-flowlet weighted round-robin with multiplicative ECN decrease."""
 
     name = "clove-ecn"
+    granularity = "flowlet"
 
     def __init__(
         self,

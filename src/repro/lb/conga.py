@@ -60,6 +60,7 @@ class CongaLB(LoadBalancer):
     """CONGA agent — per-host front end over the shared leaf state."""
 
     name = "conga"
+    granularity = "flowlet"
 
     def __init__(
         self,

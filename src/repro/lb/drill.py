@@ -21,6 +21,7 @@ class DrillLB(LoadBalancer):
     """Power-of-two-choices over local uplink queue occupancy, per packet."""
 
     name = "drill"
+    granularity = "packet"
 
     def __init__(self, host, fabric, rng, samples: int = 2) -> None:
         super().__init__(host, fabric, rng)

@@ -20,6 +20,7 @@ class EcmpLB(LoadBalancer):
     """Static per-flow hashing."""
 
     name = "ecmp"
+    granularity = "flow"
 
     def select_path(self, flow: "FlowBase", wire_bytes: int) -> int:
         if flow.current_path >= 0:

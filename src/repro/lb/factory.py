@@ -7,16 +7,19 @@ Hermes path tables), and auxiliary machinery (Hermes probe agents).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Tuple
 
 from repro.lb.base import LoadBalancer
 from repro.lb.clove import CloveEcnLB
 from repro.lb.conga import CongaLB, CongaLeafState
+from repro.lb.diffflow import DiffFlowLB, install_diffflow
 from repro.lb.drill import DrillLB
 from repro.lb.ecmp import EcmpLB
 from repro.lb.flowbender import FlowBenderLB
 from repro.lb.letflow import LetFlowLB
 from repro.lb.presto import DrbLB, PrestoLB
+from repro.lb.rdna import RdnaBalanceLB, install_rdna
+from repro.lb.reps import RepsLB, install_reps
 from repro.net.fabric import Fabric
 from repro.sim.engine import microseconds
 
@@ -96,7 +99,45 @@ LB_REGISTRY: Dict[str, Callable[..., Dict[str, Any]]] = {
     "flowbender": _install_simple(FlowBenderLB),
     "conga": _install_conga,
     "hermes": _install_hermes,
+    "reps": install_reps,
+    "diffflow": install_diffflow,
+    "rdna": install_rdna,
 }
+
+#: Agent class behind each registry name (the conformance suite reads
+#: declared ``granularity`` off these without building a fabric).
+LB_CLASSES: Dict[str, type] = {
+    "ecmp": EcmpLB,
+    "presto": PrestoLB,
+    "drb": DrbLB,
+    "letflow": LetFlowLB,
+    "clove-ecn": CloveEcnLB,
+    "drill": DrillLB,
+    "flowbender": FlowBenderLB,
+    "conga": CongaLB,
+    "reps": RepsLB,
+    "diffflow": DiffFlowLB,
+    "rdna": RdnaBalanceLB,
+}
+
+
+def scheme_names() -> Tuple[str, ...]:
+    """Every registered scheme, alphabetically — the single source of
+    truth for CLI help strings, chaos draws, and coverage assertions."""
+    return tuple(sorted(LB_REGISTRY))
+
+
+#: Schemes that spray *blindly* per packet and therefore reorder by
+#: design; harnesses give their receivers a reordering mask so dup-ACK
+#: retransmits reflect loss, not spraying.  (DRILL and Hermes also
+#: decide per packet but steer toward one good path rather than spraying
+#: across all of them, so they stay maskless like the paper's setups.)
+SPRAYING_SCHEMES: Tuple[str, ...] = ("diffflow", "drb", "presto", "reps")
+
+
+def spraying_schemes() -> Tuple[str, ...]:
+    """The blind per-packet sprayers (alphabetical)."""
+    return SPRAYING_SCHEMES
 
 
 def install_lb(fabric: Fabric, name: str, **params: Any) -> Dict[str, Any]:

@@ -23,6 +23,7 @@ class FlowBenderLB(LoadBalancer):
     """Per-flow random rerouting when the ECN fraction crosses a threshold."""
 
     name = "flowbender"
+    granularity = "flow"
 
     def __init__(
         self,

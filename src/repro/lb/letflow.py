@@ -23,6 +23,7 @@ class LetFlowLB(LoadBalancer):
     """Flowlet switching with random path selection."""
 
     name = "letflow"
+    granularity = "flowlet"
 
     def __init__(self, host, fabric, rng, flowlet_timeout_ns: int = microseconds(150)) -> None:
         super().__init__(host, fabric, rng)

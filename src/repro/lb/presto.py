@@ -28,6 +28,7 @@ class PrestoLB(LoadBalancer):
     """Per-flowcell round-robin spraying with optional static weights."""
 
     name = "presto"
+    granularity = "flowcell"
 
     def __init__(self, host, fabric, rng, flowcell_bytes: int = FLOWCELL_BYTES,
                  weight_by_capacity: bool = False) -> None:
@@ -88,6 +89,7 @@ class DrbLB(PrestoLB):
     """DRB: per-packet round-robin — Presto with a one-byte flowcell."""
 
     name = "drb"
+    granularity = "packet"
 
     def __init__(self, host, fabric, rng, weight_by_capacity: bool = False) -> None:
         super().__init__(

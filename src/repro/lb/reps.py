@@ -1,0 +1,154 @@
+"""REPS: recycled-entropy packet spraying with failure mitigation.
+
+Bonato et al.'s scheme (arXiv 2407.21625): packets are sprayed per
+packet like DRB, but the spray is *biased by feedback* — every ACK that
+returns clean (no ECN echo, not a retransmission) proves its packet's
+path entropy was good, so the sender **recycles** it into a per-flow
+FIFO cache and prefers cached entropies over fresh random draws.  Under
+congestion the marked paths stop being recycled and the cache drains
+toward the good ones; on a clean fabric REPS degenerates to uniform
+spraying.
+
+Failure mitigation follows the paper's two rules:
+
+* an RTO **flushes the flow's entire entropy cache** (every cached
+  entropy is stale evidence once the flow stalls) and reports the path
+  to the shared :class:`~repro.lb.failaware.LeafPathHealth` table, which
+  fails it immediately;
+* retransmissions evict the implicated entropy from the cache and feed
+  the table's windowed retransmission counter, so a lossy-but-alive link
+  is also detected and avoided.
+
+Fresh entropies are drawn uniformly from the paths the health table
+still trusts, which is what steers traffic off a dead spine within one
+RTO — the behaviour the Fig. 16/17 recovery timelines measure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, TYPE_CHECKING
+
+from repro.lb.base import LoadBalancer
+from repro.lb.failaware import LeafPathHealth
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.transport.base import FlowBase
+
+#: Per-flow entropy cache bound — about one congestion window's worth of
+#: in-flight packets; recycling more than that only repeats information.
+DEFAULT_CACHE_SIZE = 32
+
+
+class RepsLB(LoadBalancer):
+    """Per-packet spraying that recycles ACK-proven good entropies."""
+
+    name = "reps"
+    granularity = "packet"
+
+    def __init__(
+        self,
+        host,
+        fabric,
+        rng,
+        health: LeafPathHealth,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        super().__init__(host, fabric, rng)
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        self.health = health
+        self.cache_size = cache_size
+        #: flow_id -> FIFO of recycled path entropies.
+        self._cache: Dict[int, Deque[int]] = {}
+        #: Entropies served from the cache vs drawn fresh (introspection).
+        self.recycled = 0
+        self.fresh = 0
+
+    def select_path(self, flow: "FlowBase", wire_bytes: int) -> int:
+        dst_leaf = self.topology.leaf_of(flow.dst)
+        paths = self.topology.paths(self.host.leaf, dst_leaf)
+        cache = self._cache.get(flow.flow_id)
+        if cache:
+            health = self.health
+            while cache:
+                entropy = cache.popleft()
+                # A cached entropy may have gone stale: its path can be
+                # cut (topology change) or freshly failed.  Skip, don't
+                # re-queue — staleness is why it is being discarded.
+                if entropy in paths and not health.is_failed(dst_leaf, entropy):
+                    self.recycled += 1
+                    return self._note_path(flow, entropy)
+        alive = self.health.alive(dst_leaf, paths)
+        self.fresh += 1
+        return self._note_path(flow, self.rng.choice(alive))
+
+    def on_ack(self, flow: "FlowBase", path_id: int, ece: bool, rtt_ns: int,
+               is_retx: bool) -> None:
+        if path_id < 0:
+            return
+        dst_leaf = self.topology.leaf_of(flow.dst)
+        # Any round trip is proof of life for the path (clears false
+        # failure verdicts) ...
+        self.health.note_ok(dst_leaf, path_id)
+        # ... but only clean ones prove a *good* entropy worth recycling.
+        if ece or is_retx:
+            return
+        cache = self._cache.get(flow.flow_id)
+        if cache is None:
+            cache = deque()
+            self._cache[flow.flow_id] = cache
+        if len(cache) < self.cache_size:
+            cache.append(path_id)
+
+    def on_timeout(self, flow: "FlowBase", path_id: int) -> None:
+        # Failure mitigation: the stall invalidates everything the flow
+        # thought it knew about good entropies.
+        self._cache.pop(flow.flow_id, None)
+        if path_id >= 0:
+            self.health.note_timeout(self.topology.leaf_of(flow.dst), path_id)
+
+    def on_retransmit(self, flow: "FlowBase", path_id: int) -> None:
+        if path_id < 0:
+            return
+        cache = self._cache.get(flow.flow_id)
+        if cache and path_id in cache:
+            self._cache[flow.flow_id] = deque(
+                e for e in cache if e != path_id
+            )
+        self.health.note_retransmit(self.topology.leaf_of(flow.dst), path_id)
+
+    def on_flow_done(self, flow: "FlowBase") -> None:
+        self._cache.pop(flow.flow_id, None)
+
+
+def install_reps(
+    fabric,
+    hold_ns: int = None,
+    retx_threshold: int = None,
+    retx_window_ns: int = None,
+    **params,
+):
+    """Install REPS on every host with one shared health table per rack."""
+    health_kwargs = {
+        k: v
+        for k, v in (
+            ("hold_ns", hold_ns),
+            ("retx_threshold", retx_threshold),
+            ("retx_window_ns", retx_window_ns),
+        )
+        if v is not None
+    }
+    leaf_states = {
+        leaf: LeafPathHealth(fabric, leaf, **health_kwargs)
+        for leaf in range(fabric.config.n_leaves)
+    }
+    for host in fabric.hosts:
+        host.lb = RepsLB(
+            host,
+            fabric,
+            fabric.rng.spawn("reps", host.host_id),
+            leaf_states[host.leaf],
+            **params,
+        )
+    return {"leaf_states": leaf_states}

@@ -216,14 +216,17 @@ class TcpFlow(FlowBase):
     # ------------------------------------------------------------------ #
 
     def _arm_rto(self) -> None:
+        # At most one live RTO event per flow, enforced here: an orphaned
+        # second event fires as a phantom timeout whose handler re-arms
+        # itself, multiplying events under sustained timeouts (_on_rto
+        # used to double-arm via _transmit's tail plus its own call).
+        if self._rto_event is not None:
+            self._rto_event.cancel()
         # Pooled: the handle never outlives the event — _on_rto nulls it
-        # before anything else, _restart_rto/_complete replace or null it
-        # right after cancelling.
+        # before anything else, _complete cancels and nulls it.
         self._rto_event = self.sim.schedule_pooled(self.rto.rto_ns, self._on_rto)
 
     def _restart_rto(self) -> None:
-        if self._rto_event is not None:
-            self._rto_event.cancel()
         self._arm_rto()
 
     def _on_rto(self) -> None:

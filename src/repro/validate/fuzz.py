@@ -41,22 +41,13 @@ from repro.faults.spec import (
     random_drop_stop,
     schedule,
 )
+from repro.lb.factory import SPRAYING_SCHEMES, scheme_names
 from repro.net.topology import TopologyConfig
 from repro.validate.errors import InvariantViolation
 
-#: Every registered scheme is fair game (keep in sync with
-#: ``repro.lb.LB_REGISTRY``; imported lazily there to avoid a cycle).
-CHAOS_SCHEMES = (
-    "ecmp",
-    "presto",
-    "drb",
-    "letflow",
-    "clove-ecn",
-    "drill",
-    "flowbender",
-    "conga",
-    "hermes",
-)
+#: Every registered scheme is fair game — derived from the factory so a
+#: newly registered scheme is fuzzed automatically, no sync to forget.
+CHAOS_SCHEMES = scheme_names()
 
 #: Scenario envelope: small enough that one case runs in well under a
 #: second on CPython, varied enough to reach asymmetric/failure corners.
@@ -257,7 +248,7 @@ def chaos_config(seed: int, with_faults: Optional[bool] = None) -> ExperimentCon
         seed=seed,
         size_scale=_SIZE_SCALE,
         time_scale=_SIZE_SCALE,
-        reorder_mask_us=100.0 if lb in ("presto", "drb") else None,
+        reorder_mask_us=100.0 if lb in SPRAYING_SCHEMES else None,
         failure=failure,
         faults=faults,
         extra_drain_ns=_EXTRA_DRAIN_NS,

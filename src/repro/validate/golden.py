@@ -2,8 +2,8 @@
 
 The simulator is deterministic: the same config produces bit-identical
 flow records on every run.  That makes regression pinning cheap and
-brutal — this module runs the 8-cell reference grid (the
-``bench_perf_core`` shape: 4 schemes x 2 loads) and compares its summary
+brutal — this module runs the reference grid (the ``bench_perf_core``
+shape: every factory scheme x 2 loads) and compares its summary
 statistics (avg/p99 FCT per scheme, unfinished counts, reroutes, event
 counts) against a committed JSON file, so a perf refactor that changes
 *any* result — event ordering, byte accounting, timer behaviour — fails
@@ -28,8 +28,12 @@ from typing import Dict, List, Optional
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_experiment
 from repro.experiments.scenarios import bench_topology
+from repro.lb.factory import SPRAYING_SCHEMES, scheme_names
 
-GOLDEN_SCHEMES = ("ecmp", "letflow", "conga", "hermes")
+#: Every registered scheme gets a golden row — derived from the factory
+#: so a scheme cannot land without pinning its reference behaviour
+#: (tests/test_golden_grid.py asserts the counts stay in lockstep).
+GOLDEN_SCHEMES = scheme_names()
 GOLDEN_LOADS = (0.5, 0.7)
 GOLDEN_FLOWS = 40
 GOLDEN_SIZE_SCALE = 0.05
@@ -44,7 +48,9 @@ DEFAULT_PATH = os.path.join("tests", "golden", "reference_grid.json")
 
 
 def golden_configs() -> List[ExperimentConfig]:
-    """The 8-cell reference grid (scheme-major, then load)."""
+    """The full reference grid (scheme-major, then load): every factory
+    scheme x every load.  Sprayers get the same reordering mask the CLI
+    gives them so dup-ACK retransmits reflect loss, not spraying."""
     topology = bench_topology(n_leaves=2, n_spines=2, hosts_per_leaf=4)
     return [
         ExperimentConfig(
@@ -56,6 +62,7 @@ def golden_configs() -> List[ExperimentConfig]:
             seed=GOLDEN_SEED,
             size_scale=GOLDEN_SIZE_SCALE,
             time_scale=GOLDEN_SIZE_SCALE,
+            reorder_mask_us=100.0 if lb in SPRAYING_SCHEMES else None,
         )
         for lb in GOLDEN_SCHEMES
         for load in GOLDEN_LOADS

@@ -58,12 +58,35 @@ def test_chaos_is_deterministic():
 
 
 def test_chaos_covers_failures_and_schemes():
+    """The sweep draws from the factory registry itself, so *every*
+    registered scheme — including ones landed after this test was
+    written — must appear across the >= 50 seeds."""
+    from repro.lb.factory import scheme_names
+
     configs = [chaos_config(seed) for seed in CHAOS_SEEDS]
     schemes = {config.lb for config in configs}
-    assert len(schemes) >= 6, f"sweep only exercised {sorted(schemes)}"
+    assert schemes == set(scheme_names()), (
+        f"sweep missed {sorted(set(scheme_names()) - schemes)}"
+    )
     assert any(config.failure is not None for config in configs)
     assert any(config.topology.link_overrides for config in configs)
     assert any(config.transport == "tcp" for config in configs)
+
+
+#: One pinned seed per post-2017 zoo scheme: these specific draws are
+#: load-bearing (they guarantee the new schemes meet the invariant
+#: checker even if the sweep's seed list shifts).
+ZOO_PINNED_SEEDS = {"reps": 5, "diffflow": 8, "rdna": 7}
+
+
+@pytest.mark.parametrize("scheme,seed", sorted(ZOO_PINNED_SEEDS.items()))
+def test_zoo_scheme_pinned_chaos_seed(scheme, seed):
+    assert chaos_config(seed).lb == scheme, (
+        f"seed {seed} no longer draws {scheme}; re-pin ZOO_PINNED_SEEDS"
+    )
+    case = run_case(seed)
+    assert case.ok
+    assert case.invariants["violations"] == 0
 
 
 def test_replay_seed_from_environment():
@@ -171,7 +194,7 @@ def test_mutation_violation_shrinks_to_minimal_config():
                 return exc
         return None
 
-    start = chaos_config(3)  # blackhole failure + drill, 3-leaf topology
+    start = chaos_config(3)  # draws a blackhole failure spec
     assert start.failure is not None
     shrunk = shrink_case(start, probe=probe, max_attempts=12)
     assert isinstance(shrunk.error, ConservationError)

@@ -20,6 +20,48 @@ class TestParser:
         args = build_parser().parse_args(["compare", "--schemes", "a,b"])
         assert args.schemes == "a,b"
 
+    def test_lb_help_is_generated_from_registry(self):
+        """The --lb/--schemes help text lists every registered scheme —
+        derived from the factory, never a stale literal."""
+        from repro.lb.factory import scheme_names
+
+        parser = build_parser()
+        subparsers = parser._subparsers._group_actions[0].choices
+        # argparse wraps long help lines (splitting e.g. "clove-ecn"
+        # across a newline), so compare whitespace-free.
+        run_help = "".join(subparsers["run"].format_help().split())
+        compare_help = "".join(subparsers["compare"].format_help().split())
+        for scheme in scheme_names():
+            assert scheme in run_help
+            assert scheme in compare_help
+
+    def test_hosts_per_leaf_overrides_rack_size(self):
+        from repro.cli import _config_from_args
+
+        args = build_parser().parse_args(
+            ["run", "--lb", "ecmp", "--hosts-per-leaf", "3"]
+        )
+        assert _config_from_args(args, "ecmp").topology.hosts_per_leaf == 3
+
+    def test_hosts_per_leaf_rejected_for_fixed_topologies(self, capsys):
+        code = main(["run", "--lb", "ecmp", "--topology", "testbed",
+                     "--hosts-per-leaf", "3", "--flows", "5"])
+        assert code == 2
+        assert "--hosts-per-leaf" in capsys.readouterr().err
+
+    def test_spraying_schemes_get_reorder_mask(self):
+        """Per-packet sprayers (old and new) get the receiver reordering
+        mask the moment the config is built from CLI flags."""
+        from repro.cli import _config_from_args
+        from repro.lb.factory import SPRAYING_SCHEMES
+
+        parser = build_parser()
+        for scheme in SPRAYING_SCHEMES:
+            args = parser.parse_args(["run", "--lb", scheme])
+            assert _config_from_args(args, scheme).reorder_mask_us is not None
+        args = parser.parse_args(["run", "--lb", "ecmp"])
+        assert _config_from_args(args, "ecmp").reorder_mask_us is None
+
 
 class TestCommands:
     def test_probe_model(self, capsys):

@@ -1,0 +1,111 @@
+"""Fault-plane x scheme-zoo edge cases, parametrized over the registry.
+
+Three corners the per-scheme tests don't reach, each run against every
+registered scheme (the fault plane must be scheme-agnostic):
+
+* a fault that fires **before the first flow starts** — schemes must
+  come up on a degraded fabric without special-casing t=0;
+* **every uplink of a leaf dark** with no recovery — the rack is
+  unreachable; schemes must not crash, must not spin, and the stranded
+  flows must surface as ``unrecovered_timeouts``;
+* **link_up mid-retransmission** — the revert races flows that are
+  actively timing out and retransmitting into the dark link; everything
+  must drain cleanly once capacity returns.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import bench_topology
+from repro.faults.spec import link_down, link_up, schedule
+from repro.lb.factory import LB_REGISTRY, SPRAYING_SCHEMES
+
+MS = 1_000_000
+SCHEMES = sorted(LB_REGISTRY)
+
+
+def _config(scheme, **overrides):
+    defaults = dict(
+        topology=bench_topology(n_leaves=2, n_spines=2, hosts_per_leaf=2),
+        lb=scheme,
+        workload="web-search",
+        load=0.4,
+        n_flows=25,
+        seed=1,
+        size_scale=0.05,
+        time_scale=0.05,
+        reorder_mask_us=100.0 if scheme in SPRAYING_SCHEMES else None,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+class TestFaultSchemeMatrix:
+    def test_fault_before_first_flow(self, scheme):
+        """The outage predates every arrival: schemes start life on a
+        degraded fabric and must route around it from packet one."""
+        result = run_experiment(_config(scheme, faults=schedule(
+            link_down(0, leaf=0, spine=0),
+            link_up(4 * MS, leaf=0, spine=0),
+        )))
+        assert [r["phase"] for r in result.fault_timeline] == [
+            "applied", "reverted"
+        ]
+        stats = result.stats
+        assert stats.count == 25
+        assert stats.finished_count == 25, (
+            f"{scheme}: flows stranded although the link recovered"
+        )
+
+    def test_all_uplinks_of_a_leaf_dark(self, scheme):
+        """The whole rack is cut off and never recovers: no crash, no
+        infinite spin, and the stranded flows are accounted as
+        unrecovered timeouts."""
+        result = run_experiment(_config(scheme, extra_drain_ns=20 * MS,
+                                        faults=schedule(
+            link_down(1 * MS, leaf=0, spine=0),
+            link_down(1 * MS, leaf=0, spine=1),
+        )))
+        stats = result.stats
+        assert stats.count == 25, f"{scheme}: flows went missing"
+        assert stats.unfinished_count > 0, (
+            f"{scheme}: flows crossing an unreachable rack cannot finish"
+        )
+        assert result.unrecovered_timeouts > 0, (
+            f"{scheme}: stranded flows must surface as unrecovered "
+            f"timeouts in the fault report"
+        )
+        # Flows that never touch the dark rack must still complete.
+        assert stats.finished_count > 0, (
+            f"{scheme}: the outage must not take down unrelated traffic"
+        )
+        # Stranded flows back off exponentially — a per-flow timeout
+        # count past this bound means phantom (double-armed) RTO events
+        # are firing again.
+        assert max(r.timeouts for r in stats.records) <= 12, (
+            f"{scheme}: timeout storm on the stranded flows"
+        )
+
+    def test_link_up_mid_retransmission(self, scheme):
+        """The revert lands while flows are mid-RTO into the dark link
+        (min RTO at this time_scale is 0.5 ms, the outage spans 1.5 ms =
+        several back-offs): the race must resolve with a full drain."""
+        result = run_experiment(_config(scheme, faults=schedule(
+            link_down(500_000, leaf=0, spine=0),
+            link_up(2 * MS, leaf=0, spine=0),
+        )))
+        assert [r["phase"] for r in result.fault_timeline] == [
+            "applied", "reverted"
+        ]
+        stats = result.stats
+        assert stats.finished_count == stats.count == 25, (
+            f"{scheme}: flows stranded after the mid-retransmission revert"
+        )
+        # And the recovery is reproducible bit for bit.
+        replay = run_experiment(_config(scheme, faults=schedule(
+            link_down(500_000, leaf=0, spine=0),
+            link_up(2 * MS, leaf=0, spine=0),
+        )))
+        assert stats.records == replay.stats.records

@@ -1,7 +1,7 @@
 """Golden regression: the reference grid's statistics are pinned.
 
-The simulator is deterministic, so the 8-cell reference grid (4 schemes
-x 2 loads) must reproduce the committed ``tests/golden/
+The simulator is deterministic, so the reference grid (every factory
+scheme x 2 loads) must reproduce the committed ``tests/golden/
 reference_grid.json`` exactly.  Any event-ordering, accounting, or
 timer change — intentional or not — lands here first.
 
@@ -29,6 +29,27 @@ def test_reference_grid_is_committed():
     assert load_reference(REFERENCE_PATH) is not None, (
         "missing golden reference; generate it with "
         "PYTHONPATH=src python -m repro golden --refresh"
+    )
+
+
+def test_golden_zoo_matches_factory_registry():
+    """Every scheme behind the factory has a golden row, in both the
+    grid generator and the committed reference — a scheme cannot land
+    without pinning its reference behaviour."""
+    from repro.lb.factory import LB_REGISTRY
+
+    assert set(golden_mod.GOLDEN_SCHEMES) == set(LB_REGISTRY), (
+        "golden grid and factory registry drifted apart"
+    )
+    reference = load_reference(REFERENCE_PATH)
+    assert reference is not None
+    committed = {cell.split("@", 1)[0] for cell in reference["cells"]}
+    assert committed == set(LB_REGISTRY), (
+        "committed reference is missing schemes; refresh with "
+        "PYTHONPATH=src python -m repro golden --refresh"
+    )
+    assert len(reference["cells"]) == len(LB_REGISTRY) * len(
+        golden_mod.GOLDEN_LOADS
     )
 
 

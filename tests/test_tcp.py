@@ -165,6 +165,28 @@ class TestLossRecovery:
         assert not flow.finished
         assert flow.timeout_count >= 3
 
+    def test_blackhole_timeouts_backoff_exponentially(self):
+        """Regression: ``_on_rto`` used to arm a *second* RTO event on
+        top of the one ``_transmit`` arms.  The orphan fired as a
+        phantom timeout whose handler armed two more — the live-event
+        count doubled per generation, melting long degraded-fabric runs.
+        With a single live timer and exponential backoff (10 ms floor,
+        doubling), 500 ms of total blackhole fits only a handful of
+        genuine timeouts."""
+        fabric = make_fabric()
+        for spine in (0, 1):
+            for port in fabric.topology.spine_ports(spine):
+                port.drop_predicates.append(lambda p, now: True)
+        flow = TcpFlow(fabric, 0, 2, 10 * MSS)
+        fabric.register_flow(flow)
+        flow.start()
+        fabric.sim.run(until=500_000_000)
+        assert not flow.finished
+        assert 3 <= flow.timeout_count <= 8, (
+            f"{flow.timeout_count} timeouts in 500 ms: backoff is not "
+            f"exponential or phantom RTO events are firing"
+        )
+
     def test_timeout_sets_hermes_flag(self):
         fabric = self._lossy_fabric({49})
         flow = run_flow(fabric, size=50 * MSS)
