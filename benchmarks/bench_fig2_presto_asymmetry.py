@@ -15,7 +15,7 @@ spine0->leaf2, for Presto vs Hermes (which keeps A on the clean path).
 from _common import emit
 from repro.experiments.report import format_table
 from repro.lb.factory import install_lb
-from repro.metrics.collector import QueueSampler
+from repro.telemetry.series import QueueSampler
 from repro.net.fabric import Fabric
 from repro.net.topology import TopologyConfig
 from repro.sim.engine import Simulator

@@ -15,7 +15,7 @@ states fresh, and whose cautious margins suppress blind flips).
 from _common import emit
 from repro.experiments.report import format_table
 from repro.lb.factory import install_lb
-from repro.metrics.collector import QueueSampler
+from repro.telemetry.series import QueueSampler
 from repro.net.fabric import Fabric
 from repro.net.topology import TopologyConfig
 from repro.sim.engine import Simulator

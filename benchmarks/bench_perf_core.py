@@ -23,7 +23,14 @@ one (scheme x load x seed) grid:
    speedup ratio ``wheel_speedup_x``;
 6. **wheel:auto** — the serial grid with autotuned wheel geometry,
    asserting bit-identity again and that the chosen geometry is
-   recorded in ``scheduler_info`` (reproducibility contract).
+   recorded in ``scheduler_info`` (reproducibility contract);
+7. **streaming** — the serial grid re-run with ``streaming_stats=True``
+   (t-digest + reservoir collector, per-flow records dropped),
+   asserting event counts and exact aggregates match the exact-mode run
+   and recording ``events_per_sec_streaming``, plus a pure-estimator
+   accuracy probe: a seeded heavy-tailed stream through
+   :class:`~repro.telemetry.digest.TDigest` whose p99 relative error
+   against the sorted truth lands in ``digest_p99_rel_err``.
 
 It also asserts that the parallel run's per-flow records are
 bit-identical to the serial run's — the determinism contract, checked on
@@ -213,6 +220,52 @@ def measure(
         auto_geometry = geometry
     auto_wall = time.perf_counter() - auto_start
 
+    # Phase 7: streaming statistics.  Same simulation with the bounded-
+    # memory collector: event counts and exact aggregates (count, mean)
+    # must match the exact-mode run; the throughput delta is what the
+    # fold-on-completion path costs.
+    import random as _random
+
+    from repro.metrics.fct import percentile
+    from repro.telemetry.digest import TDigest
+
+    streaming_events = 0
+    streaming_start = time.perf_counter()
+    for config, exact_result in zip(configs, serial_results):
+        streaming = run_experiment(
+            dataclasses.replace(config, streaming_stats=True)
+        )
+        streaming_events += streaming.events
+        assert streaming.events == exact_result.events, (
+            "streaming-stats run fired a different event count"
+        )
+        assert streaming.stats.count == exact_result.stats.count
+        exact_mean = exact_result.stats.mean_ms()
+        if exact_mean == exact_mean:  # skip NaN (no finished flows)
+            assert abs(streaming.stats.mean_ms() - exact_mean) <= (
+                1e-9 * abs(exact_mean)
+            ), "streaming mean diverged from exact mean"
+        assert streaming.stats.records == (), (
+            "streaming run retained per-flow records"
+        )
+    streaming_wall = time.perf_counter() - streaming_start
+
+    # Estimator accuracy probe, decoupled from the (small) grid: a
+    # seeded heavy-tailed stream large enough that the digest — not the
+    # exact reservoir — is the estimator of record.
+    rng = _random.Random(1)
+    digest_values = [rng.lognormvariate(12.0, 1.6) for _ in range(100_000)]
+    digest = TDigest()
+    digest_start = time.perf_counter()
+    digest.extend(digest_values)
+    digest_wall = time.perf_counter() - digest_start
+    digest_values.sort()
+    p99_truth = percentile(digest_values, 99.0)
+    digest_p99_rel_err = abs(digest.quantile(0.99) - p99_truth) / p99_truth
+    assert digest_p99_rel_err < 0.01, (
+        f"digest p99 off by {digest_p99_rel_err:.2%} (contract: <1%)"
+    )
+
     events_per_sec = round(total_events / serial_wall, 1)
     return {
         "code_version": code_version(),
@@ -245,6 +298,13 @@ def measure(
         "events_per_sec_wheel_auto": round(auto_events / auto_wall, 1),
         "wheel_auto_wall_s": round(auto_wall, 3),
         "wheel_auto_geometry": auto_geometry,
+        "events_per_sec_streaming": round(streaming_events / streaming_wall, 1),
+        "streaming_wall_s": round(streaming_wall, 3),
+        "streaming_overhead_x": round(streaming_wall / serial_wall, 3),
+        "digest_p99_rel_err": round(digest_p99_rel_err, 6),
+        "digest_ingest_values_per_sec": round(
+            len(digest_values) / digest_wall, 1
+        ),
     }
 
 
@@ -306,6 +366,8 @@ def test_perf_core_smoke(tmp_path):
     assert report["events_per_sec"] > 0
     assert report["events_per_sec_heap"] > 0
     assert report["wheel_auto_geometry"] is not None
+    assert report["events_per_sec_streaming"] > 0
+    assert report["digest_p99_rel_err"] < 0.01
     # A warm rerun must come from the cache, far faster than simulating.
     assert report["warm_cache_fraction_of_cold"] < 0.5
     # The speedup field is either a real multi-core number or an

@@ -25,7 +25,13 @@ The surface:
   back (config round-tripped through ``from_dict``);
 * topology builders (:func:`bench_topology`, :func:`testbed_topology`,
   :func:`simulation_topology`, :func:`asymmetric_overrides`) matching
-  the paper's setups.
+  the paper's setups;
+* :func:`serve` / :class:`ExperimentService` / :class:`ServiceClient` —
+  the always-on experiment service (bounded job queue, crash-tolerant
+  worker pool, HTTP JSON API + SSE; see :mod:`repro.serve`);
+* :class:`StreamingFctStats` / :class:`TDigest` /
+  :class:`ReservoirSampler` — bounded-memory statistics for
+  million-flow cells (``ExperimentConfig(streaming_stats=True)``).
 
 Internal layers (``repro.sim``, ``repro.net``, ``repro.telemetry``, ...)
 remain importable but may reshuffle between releases; this module is the
@@ -69,7 +75,16 @@ from repro.lb.factory import (
     spraying_schemes,
 )
 from repro.metrics.fct import FctStats, FlowRecord
+from repro.metrics.streaming import STREAMING_AUTO_FLOWS, StreamingFctStats
 from repro.net.fabric import Fabric
+from repro.serve import (
+    BackpressureError,
+    ExperimentService,
+    QueueFull,
+    ServiceClient,
+    serve,
+)
+from repro.telemetry.digest import ReservoirSampler, TDigest
 from repro.net.topology import TopologyConfig
 from repro.sim.engine import (
     SCHEDULERS,
@@ -93,6 +108,15 @@ __all__ = [
     "FaultEventSpec",
     "FctStats",
     "FlowRecord",
+    "StreamingFctStats",
+    "STREAMING_AUTO_FLOWS",
+    "TDigest",
+    "ReservoirSampler",
+    "serve",
+    "ExperimentService",
+    "ServiceClient",
+    "QueueFull",
+    "BackpressureError",
     "run_experiment",
     "run_grid",
     "save_result",
@@ -160,9 +184,13 @@ def save_result(
     result: Union[ExperimentResult, ResultSummary],
     path_or_stream: Union[str, "os.PathLike[str]", IO[str]],
 ) -> None:
-    """Persist one run to JSON: full config (``to_dict``), per-flow
-    records, and the run totals.  :func:`load_result` restores it as a
-    :class:`ResultSummary`."""
+    """Persist one run to JSON: full config (``to_dict``), the run
+    totals, and either per-flow records (exact run) or the serialized
+    streaming collector (``streaming_stats`` run — there are no records;
+    the digest/reservoir state round-trips instead).  :func:`load_result`
+    restores it as a :class:`ResultSummary` either way."""
+    stats = result.stats
+    streaming = bool(getattr(stats, "is_streaming", False))
     doc = {
         "format": _RESULT_FORMAT,
         "config": result.config.to_dict(),
@@ -177,8 +205,12 @@ def save_result(
                 "retransmissions": r.retransmissions,
                 "timeouts": r.timeouts,
             }
-            for r in result.stats.records
+            for r in stats.records
         ],
+        "streaming_stats": stats.to_dict() if streaming else None,
+        "percentile_estimators": getattr(
+            result, "percentile_estimators", None
+        ),
         "small_bytes": result.stats.small_bytes,
         "large_bytes": result.stats.large_bytes,
         "sim_time_ns": result.sim_time_ns,
@@ -216,15 +248,29 @@ def load_result(
             f"unsupported result file format {version!r} "
             f"(this build reads format {_RESULT_FORMAT})"
         )
-    records = [FlowRecord(**record) for record in doc["records"]]
-    stats = FctStats(
-        records,
-        small_bytes=doc["small_bytes"],
-        large_bytes=doc["large_bytes"],
-    )
+    streaming_doc = doc.get("streaming_stats")
+    if streaming_doc is not None:
+        from repro.metrics.streaming import StreamingFctStats
+
+        stats: Any = StreamingFctStats.from_dict(streaming_doc)
+    else:
+        records = [FlowRecord(**record) for record in doc["records"]]
+        stats = FctStats(
+            records,
+            small_bytes=doc["small_bytes"],
+            large_bytes=doc["large_bytes"],
+        )
+    estimators = doc.get("percentile_estimators")
+    if estimators is None:
+        estimators = (
+            stats.estimators()
+            if streaming_doc is not None
+            else {"p50": "exact", "p99": "exact"}
+        )
     return ResultSummary(
         config=ExperimentConfig.from_dict(doc["config"]),
         stats=stats,
+        percentile_estimators=estimators,
         sim_time_ns=doc["sim_time_ns"],
         events=doc["events"],
         total_reroutes=doc["total_reroutes"],

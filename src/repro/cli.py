@@ -281,14 +281,63 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _parse_bytes(value: str) -> int:
+    """'500M', '2G', '100k', '12345' -> bytes."""
+    units = {"k": 1024, "m": 1024**2, "g": 1024**3, "t": 1024**4}
+    text = value.strip().lower().rstrip("b")
+    factor = 1
+    if text and text[-1] in units:
+        factor = units[text[-1]]
+        text = text[:-1]
+    try:
+        return int(float(text) * factor)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{value!r} is not a size (try 12345, 500M, 2G)"
+        ) from None
+
+
+def _parse_age(value: str) -> float:
+    """'30d', '12h', '15m', '90s', '3600' -> seconds."""
+    units = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0}
+    text = value.strip().lower()
+    factor = 1.0
+    if text and text[-1] in units:
+        factor = units[text[-1]]
+        text = text[:-1]
+    try:
+        return float(text) * factor
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{value!r} is not an age (try 3600, 90s, 12h, 30d)"
+        ) from None
+
+
 def cmd_cache(args) -> int:
     cache = ResultCache()
+    if getattr(args, "action", None) == "prune":
+        if args.max_bytes is None and args.max_age is None:
+            print(
+                "error: prune needs --max-bytes and/or --max-age",
+                file=sys.stderr,
+            )
+            return 2
+        removed, reclaimed = cache.prune(
+            max_bytes=args.max_bytes, max_age_s=args.max_age
+        )
+        print(
+            f"pruned {removed} entries, reclaimed {reclaimed} bytes "
+            f"({reclaimed / 1024**2:.1f} MiB); "
+            f"{cache.size()} entries ({cache.total_bytes()} bytes) remain"
+        )
+        return 0
     if args.clear:
         removed = cache.clear()
         print(f"cleared {removed} cached results from {cache.directory}")
     else:
         print(f"cache dir:   {cache.directory}")
         print(f"entries:     {cache.size()}")
+        print(f"size:        {cache.total_bytes()} bytes")
         print(f"corruptions: {cache.corruption_count()} (healed)")
     return 0
 
@@ -502,6 +551,123 @@ def cmd_trace_export(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the always-on experiment service until interrupted."""
+    from repro.serve import serve
+
+    service = serve(
+        host=args.host,
+        port=args.port,
+        n_workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        use_cache=False if args.no_cache else None,
+        default_cell_timeout_s=args.cell_timeout,
+    )
+    host, port = service.http_address
+    print(f"repro service on http://{host}:{port}")
+    print(
+        f"  workers={args.workers} queue_capacity={args.queue_capacity}\n"
+        "  POST /submit   GET /jobs /status/<id> /result/<id>\n"
+        "  GET  /healthz  /metrics   /events (SSE)\n"
+        "Ctrl-C to stop."
+    )
+    try:
+        import time
+
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nstopping...")
+        service.stop()
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """Build a grid from the run flags and submit it to a service."""
+    from repro.serve import BackpressureError, ServiceClient
+
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    if not schemes:
+        print("no schemes given", file=sys.stderr)
+        return 2
+    configs = [_config_from_args(args, lb) for lb in schemes]
+    client = ServiceClient(args.url)
+    try:
+        job = client.submit(
+            configs,
+            priority=args.priority,
+            jobs_per_cell=args.jobs,
+            cell_timeout_s=args.cell_timeout,
+        )
+    except BackpressureError as exc:
+        print(f"rejected (backpressure): {exc.message}", file=sys.stderr)
+        return 3
+    job_id = job["job_id"]
+    dedup = " (deduplicated)" if job.get("deduplicated") else ""
+    print(f"submitted {job_id}{dedup}: {len(configs)} cells")
+    if args.no_wait:
+        return 0
+    status = client.wait(job_id, timeout_s=args.timeout)
+    if status["state"] != "done":
+        print(
+            f"{job_id}: {status['state']}"
+            + (f" — {status['error']}" if status.get("error") else ""),
+            file=sys.stderr,
+        )
+        return 1
+    cells = client.result(job_id)["cells"]
+    rows = []
+    for lb, cell in zip(schemes, cells):
+        fct = cell["fct_ms"]
+        rows.append([
+            lb,
+            fct["mean"],
+            fct["small_mean"],
+            fct["small_p99"],
+            fct["large_mean"],
+            cell["flows"]["unfinished"],
+            cell["run"]["reroutes"],
+        ])
+    print(format_table(RESULT_HEADERS, rows))
+    return 0
+
+
+def cmd_jobs(args) -> int:
+    """List a service's jobs (or one job's status / event stream)."""
+    from repro.serve import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.watch:
+        for event in client.events(job_id=args.watch, timeout_s=args.timeout):
+            print(
+                f"{event.get('kind', 'event'):<10} "
+                f"{event.get('event', event.get('state', '')):<10} "
+                + ", ".join(
+                    f"{k}={v}"
+                    for k, v in sorted(event.items())
+                    if k not in ("kind", "event")
+                )
+            )
+        return 0
+    if args.job:
+        import json
+
+        print(json.dumps(client.status(args.job), indent=2, sort_keys=True))
+        return 0
+    rows = [
+        [
+            j["job_id"],
+            j["state"],
+            j["cells"],
+            j["priority"],
+            j["error"] or "-",
+        ]
+        for j in client.jobs()
+    ]
+    print(format_table(["job", "state", "cells", "priority", "error"], rows))
+    return 0
+
+
 def cmd_probe_model(args) -> int:
     model = probe_overhead_model(
         n_leaves=args.leaves,
@@ -559,12 +725,80 @@ def build_parser() -> argparse.ArgumentParser:
     probe_parser.set_defaults(fn=cmd_probe_model)
 
     cache_parser = sub.add_parser(
-        "cache", help="inspect or clear the experiment result cache",
+        "cache", help="inspect, clear or prune the experiment result cache",
         parents=[common],
     )
+    cache_parser.add_argument("action", nargs="?", choices=["prune"],
+                              default=None,
+                              help="'prune' garbage-collects by size/age "
+                                   "(requires --max-bytes and/or --max-age)")
     cache_parser.add_argument("--clear", action="store_true",
                               help="delete all cached results")
+    cache_parser.add_argument("--max-bytes", type=_parse_bytes, default=None,
+                              metavar="SIZE",
+                              help="prune oldest entries until the cache "
+                                   "fits (e.g. 500M, 2G)")
+    cache_parser.add_argument("--max-age", type=_parse_age, default=None,
+                              metavar="AGE",
+                              help="prune entries older than this "
+                                   "(e.g. 12h, 30d, 3600)")
     cache_parser.set_defaults(fn=cmd_cache)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the always-on experiment service (HTTP + SSE)",
+        parents=[common],
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8642)
+    serve_parser.add_argument("--workers", type=_positive_int, default=2,
+                              help="concurrent jobs (each fans its cells "
+                                   "out over processes; default 2)")
+    serve_parser.add_argument("--queue-capacity", type=_positive_int,
+                              default=64,
+                              help="queued-job bound; submissions past it "
+                                   "are rejected with backpressure")
+    serve_parser.add_argument("--cell-timeout", type=float, default=None,
+                              metavar="SECONDS",
+                              help="default per-cell budget for jobs that "
+                                   "set none")
+    serve_parser.set_defaults(fn=cmd_serve)
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit a scheme grid to a running service",
+        parents=[common],
+    )
+    submit_parser.add_argument("--url", default="http://127.0.0.1:8642",
+                               help="service base URL")
+    submit_parser.add_argument("--schemes", default="ecmp,conga,hermes",
+                               help="comma-separated schemes (known: "
+                                    + ", ".join(scheme_names()) + ")")
+    submit_parser.add_argument("--priority", type=int, default=0,
+                               help="higher runs first")
+    submit_parser.add_argument("--cell-timeout", type=float, default=None,
+                               metavar="SECONDS",
+                               help="per-cell budget for this job")
+    submit_parser.add_argument("--no-wait", action="store_true",
+                               help="return after enqueueing instead of "
+                                    "waiting for the results table")
+    submit_parser.add_argument("--timeout", type=float, default=600.0,
+                               help="wait budget in seconds")
+    _add_run_arguments(submit_parser)
+    submit_parser.set_defaults(fn=cmd_submit)
+
+    jobs_parser = sub.add_parser(
+        "jobs", help="list a service's jobs, or watch one via SSE",
+        parents=[common],
+    )
+    jobs_parser.add_argument("--url", default="http://127.0.0.1:8642",
+                             help="service base URL")
+    jobs_parser.add_argument("--job", default=None, metavar="JOB_ID",
+                             help="show one job's status JSON")
+    jobs_parser.add_argument("--watch", default=None, metavar="JOB_ID",
+                             help="stream one job's events (SSE) until it "
+                                  "finishes")
+    jobs_parser.add_argument("--timeout", type=float, default=600.0,
+                             help="SSE read budget in seconds")
+    jobs_parser.set_defaults(fn=cmd_jobs)
 
     chaos_parser = sub.add_parser(
         "chaos",

@@ -95,6 +95,19 @@ class ExperimentConfig:
             per hook site.  ``REPRO_TRACE=1`` forces it on for every
             run; traced runs always bypass the result cache (a cached
             summary carries no telemetry).
+        streaming_stats: FCT statistics collection mode.  ``False``:
+            the exact :class:`~repro.metrics.fct.FctStats` collector —
+            every flow record retained, exact percentiles.  ``True``:
+            the bounded-memory
+            :class:`~repro.metrics.streaming.StreamingFctStats`
+            collector — O(centroids) state (t-digest + seeded
+            reservoir cross-check), exact means/counts, estimated
+            percentiles, no per-flow records; finished flows are also
+            evicted from the fabric registry as they complete, so a
+            million-flow cell no longer holds a million flow objects.
+            ``None`` (default): auto — streaming kicks in at
+            ``STREAMING_AUTO_FLOWS`` (200k) flows, below that exact.
+            Part of the result-cache key like every other field.
         scheduler: event-queue engine: ``"wheel"`` (slotted timer wheel,
             the default — fastest), ``"wheel:auto"`` (wheel with slot
             geometry derived from the topology's link rates and the run's
@@ -127,6 +140,7 @@ class ExperimentConfig:
     visibility_sampling: bool = False
     validate: bool = False
     trace: bool = False
+    streaming_stats: Optional[bool] = None
     scheduler: str = DEFAULT_SCHEDULER
 
     def __post_init__(self) -> None:
@@ -146,6 +160,23 @@ class ExperimentConfig:
             raise ValueError(
                 f"unknown scheduler {self.scheduler!r}; known: {SCHEDULERS}"
             )
+        if self.streaming_stats not in (None, True, False):
+            raise ValueError(
+                "streaming_stats must be True, False or None (auto), "
+                f"got {self.streaming_stats!r}"
+            )
+
+    def streaming_enabled(self) -> bool:
+        """Whether this run collects FCT statistics via the streaming
+        collector: explicit ``streaming_stats`` wins; ``None`` auto-
+        enables it at :data:`~repro.metrics.streaming.STREAMING_AUTO_FLOWS`
+        flows, where exact collection's O(flows) memory stops being a
+        reasonable default."""
+        if self.streaming_stats is not None:
+            return self.streaming_stats
+        from repro.metrics.streaming import STREAMING_AUTO_FLOWS
+
+        return self.n_flows >= STREAMING_AUTO_FLOWS
 
     # ------------------------------------------------------------------ #
     # Plain-dict round trip (JSON-safe)

@@ -94,6 +94,11 @@ def summary_dict(result: ExperimentResult) -> Dict[str, Any]:
             "small_p99": safe(stats.small.p99_ms()),
             "large_mean": safe(stats.large.mean_ms()),
         },
+        "percentile_estimators": (
+            stats.estimators()
+            if getattr(stats, "is_streaming", False)
+            else {"p50": "exact", "p99": "exact"}
+        ),
         "flows": {
             "total": stats.count,
             "finished": stats.finished_count,

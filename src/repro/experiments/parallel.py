@@ -81,10 +81,22 @@ class ResultSummary:
     """
 
     config: ExperimentConfig
-    stats: FctStats
+    #: Exact :class:`FctStats` or bounded-memory
+    #: :class:`~repro.metrics.streaming.StreamingFctStats`, matching the
+    #: cell's ``streaming_enabled()``.  Both pickle cleanly.
+    stats: Any
     sim_time_ns: int
     events: int
     total_reroutes: int
+    #: Which estimator produced each reported percentile: ``"exact"``
+    #: (sorted records), ``"reservoir"`` (streaming run small enough
+    #: that the sample held every FCT — still exact), ``"tdigest"``
+    #: (estimated, <1% relative error at p50/p99), or ``"none"`` (no
+    #: finished flows).  A summary is thereby explicit about which
+    #: numbers are measurements and which are estimates.
+    percentile_estimators: Dict[str, str] = dataclasses.field(
+        default_factory=dict
+    )
     visibility_switch_pair: Optional[float] = None
     visibility_host_pair: Optional[float] = None
     #: Fault-plane outputs (see :class:`ExperimentResult` for semantics).
@@ -111,9 +123,15 @@ class ResultSummary:
 
     @classmethod
     def from_result(cls, result: ExperimentResult) -> "ResultSummary":
+        stats = result.stats
+        if getattr(stats, "is_streaming", False):
+            estimators = stats.estimators()
+        else:
+            estimators = {"p50": "exact", "p99": "exact"}
         return cls(
             config=result.config,
-            stats=result.stats,
+            stats=stats,
+            percentile_estimators=estimators,
             sim_time_ns=result.sim_time_ns,
             events=result.events,
             total_reroutes=result.total_reroutes,
@@ -338,16 +356,101 @@ class ResultCache:
         except OSError:
             return 0
 
+    def _entries(self) -> List[Tuple[str, int, float]]:
+        """(path, bytes, mtime) for every entry, oldest first."""
+        entries: List[Tuple[str, int, float]] = []
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return entries
+        for name in names:
+            if not name.endswith(".pkl"):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                meta = os.stat(path)
+            except OSError:
+                continue  # a concurrent prune/clear got there first
+            entries.append((path, meta.st_size, meta.st_mtime))
+        entries.sort(key=lambda e: e[2])
+        return entries
+
+    def total_bytes(self) -> int:
+        """Disk footprint of all entries."""
+        return sum(size for _, size, _ in self._entries())
+
+    def prune(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age_s: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> Tuple[int, int]:
+        """Garbage-collect the cache; returns ``(removed, reclaimed_bytes)``.
+
+        Two independent policies, either or both:
+
+        * ``max_age_s`` — entries older than this (by mtime) go first,
+          regardless of size.  A content-addressed entry can never be
+          *wrong* (code changes re-key it), only *abandoned* — age is
+          how abandonment looks.
+        * ``max_bytes`` — then oldest-first eviction until the remaining
+          footprint fits.  LRU-flavoured: benches re-``put`` on miss, so
+          recently useful entries have fresh mtimes.
+
+        With neither given, nothing is removed (use :meth:`clear` for
+        that).  Deletion races with concurrent readers are benign — a
+        reader that loses an entry just re-simulates.
+        """
+        entries = self._entries()
+        removed = 0
+        reclaimed = 0
+        if max_age_s is not None:
+            cutoff = (time.time() if now is None else now) - max_age_s
+            keep: List[Tuple[str, int, float]] = []
+            for path, size, mtime in entries:
+                if mtime < cutoff:
+                    try:
+                        os.unlink(path)
+                        removed += 1
+                        reclaimed += size
+                    except OSError:
+                        pass
+                else:
+                    keep.append((path, size, mtime))
+            entries = keep
+        if max_bytes is not None:
+            total = sum(size for _, size, _ in entries)
+            for path, size, _ in entries:  # oldest first
+                if total <= max_bytes:
+                    break
+                try:
+                    os.unlink(path)
+                    removed += 1
+                    reclaimed += size
+                    total -= size
+                except OSError:
+                    pass
+        return removed, reclaimed
+
 
 # --------------------------------------------------------------------- #
 # Execution
 # --------------------------------------------------------------------- #
 
 
-def cell_timeout() -> Optional[float]:
-    """Per-cell wall-clock budget from ``REPRO_CELL_TIMEOUT`` (seconds),
-    or ``None`` when unset.  Applies only to pool execution — a serial
-    in-process cell cannot be interrupted from within."""
+def cell_timeout(explicit: Optional[float] = None) -> Optional[float]:
+    """Per-cell wall-clock budget in seconds: the explicit argument wins
+    over ``REPRO_CELL_TIMEOUT``; ``None`` when neither is set.  Applies
+    only to pool execution — a serial in-process cell cannot be
+    interrupted from within.  The experiment service passes per-job
+    budgets explicitly (mutating the env from service threads would
+    race)."""
+    if explicit is not None:
+        if explicit <= 0:
+            raise ValueError(
+                f"cell timeout must be positive, got {explicit}"
+            )
+        return explicit
     env = os.environ.get("REPRO_CELL_TIMEOUT")
     if not env:
         return None
@@ -449,6 +552,7 @@ def run_cells(
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
     cache_dir: Optional[str] = None,
+    cell_timeout_s: Optional[float] = None,
 ) -> List[ResultSummary]:
     """Run every cell, in parallel, through the cache; results in input
     order.
@@ -459,6 +563,8 @@ def run_cells(
             everything in-process — identical results, easier debugging.
         use_cache: override the ``REPRO_CACHE`` env switch.
         cache_dir: override the cache location.
+        cell_timeout_s: per-cell wall-clock budget; overrides
+            ``REPRO_CELL_TIMEOUT`` (see :func:`cell_timeout`).
     """
     jobs = resolve_jobs(jobs)
     if use_cache is None:
@@ -486,7 +592,7 @@ def run_cells(
             misses.append(i)
 
     if misses:
-        timeout = cell_timeout()
+        timeout = cell_timeout(cell_timeout_s)
         pending = list(misses)
         if jobs > 1 and len(pending) > 1:
             for _ in range(MAX_POOL_ROUNDS):

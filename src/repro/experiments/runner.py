@@ -9,7 +9,12 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.experiments.config import ExperimentConfig, FailureSpec
 from repro.faults.plane import FaultSchedule
 from repro.lb.factory import install_lb
-from repro.metrics.fct import FctStats, FlowRecord
+from repro.metrics.fct import (
+    LARGE_FLOW_BYTES,
+    SMALL_FLOW_BYTES,
+    FctStats,
+    FlowRecord,
+)
 from repro.metrics.visibility import VisibilitySampler
 from repro.net.fabric import Fabric
 from repro.net.failures import (
@@ -34,10 +39,18 @@ from repro.workload.generator import FlowGenerator
 
 @dataclass
 class ExperimentResult:
-    """Everything a bench needs to print a paper row."""
+    """Everything a bench needs to print a paper row.
+
+    ``stats`` is a :class:`~repro.metrics.fct.FctStats` (exact, holds
+    per-flow records) or a
+    :class:`~repro.metrics.streaming.StreamingFctStats` (bounded
+    memory, no records) depending on ``config.streaming_enabled()``;
+    both expose the same aggregate read surface and an
+    ``is_streaming`` discriminator.
+    """
 
     config: ExperimentConfig
-    stats: FctStats
+    stats: Any
     sim_time_ns: int
     events: int
     total_reroutes: int
@@ -101,6 +114,20 @@ def _install_failure(fabric: Fabric, spec: FailureSpec, rng: RngStreams) -> None
         )
         failure = BlackholeFailure(pairs)
         failure.install(fabric.topology, spec.spine)
+
+
+def _flow_record(f) -> FlowRecord:
+    """Snapshot one flow object into an immutable record."""
+    return FlowRecord(
+        flow_id=f.flow_id,
+        src=f.src,
+        dst=f.dst,
+        size_bytes=f.size_bytes,
+        start_ns=f.start_time if f.start_time is not None else 0,
+        fct_ns=f.fct_ns,
+        retransmissions=f.retx_count,
+        timeouts=f.timeout_count,
+    )
 
 
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
@@ -224,7 +251,26 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         flow_kwargs["reorder_mask_ns"] = microseconds(config.reorder_mask_us)
     flow_cls = DctcpFlow if config.transport == "dctcp" else TcpFlow
 
+    small_b = int(SMALL_FLOW_BYTES * config.size_scale)
+    large_b = int(LARGE_FLOW_BYTES * config.size_scale)
+    stats_stream = None
+    if config.streaming_enabled():
+        # Lazy import, same policy as validate/telemetry: the exact path
+        # must not pay for the streaming machinery.
+        from repro.metrics.streaming import StreamingFctStats
+
+        stats_stream = StreamingFctStats(
+            small_bytes=small_b, large_bytes=large_b, seed=config.seed
+        )
+        fabric.enable_flow_eviction()
+    # Exact mode keeps every flow object for end-of-run record building.
+    # Streaming mode keeps none: outcomes fold into the collector as
+    # flows finish and finished flows are evicted from the fabric
+    # registry, so peak memory is O(in-flight + centroids) rather than
+    # O(n_flows).  Only timeout-afflicted flows (the recovery metric's
+    # input — a small set by construction) are snapshotted as records.
     flows: List[TcpFlow] = []
+    afflicted_records: List[FlowRecord] = []
     remaining = len(arrivals)
     # The run may not stop while fault events are still scheduled: a
     # revert that never fires would leave the timeline (and the recovery
@@ -238,6 +284,19 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         remaining -= 1
         if sampler is not None:
             sampler.flow_finished(flow)
+        if stats_stream is not None:
+            stats_stream.add(
+                flow.size_bytes, flow.fct_ns, flow.retx_count,
+                flow.timeout_count,
+            )
+            if flow.timeout_count > 0:
+                afflicted_records.append(_flow_record(flow))
+            # Evict once the network is quiet for this flow.  Immediate
+            # removal would silently swallow stragglers (a retransmitted
+            # segment still elicits an ACK from a finished flow), so the
+            # fabric defers until the last in-flight packet dies —
+            # keeping streaming runs bit-identical to exact runs.
+            fabric.retire_flow(flow.flow_id)
         if remaining == 0:
             if sim.now >= fault_end_ns:
                 sim.stop()
@@ -251,7 +310,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             fabric, arrival.src, arrival.dst, arrival.size_bytes, **flow_kwargs
         )
         fabric.register_flow(flow)
-        flows.append(flow)
+        if stats_stream is None:
+            flows.append(flow)
         if sampler is not None:
             sampler.flow_started(flow)
         flow.start()
@@ -271,19 +331,27 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         telemetry.stop_series()
         shared["telemetry"] = telemetry.summary()
 
-    records = [
-        FlowRecord(
-            flow_id=f.flow_id,
-            src=f.src,
-            dst=f.dst,
-            size_bytes=f.size_bytes,
-            start_ns=f.start_time if f.start_time is not None else 0,
-            fct_ns=f.fct_ns,
-            retransmissions=f.retx_count,
-            timeouts=f.timeout_count,
-        )
-        for f in flows
-    ]
+    if stats_stream is not None:
+        # Whatever is still registered and unfinished: fold it in (the
+        # collector counts it as unfinished) and snapshot it if the
+        # recovery metric will need it.  Finished flows may linger here
+        # too — retired while packets of theirs were still in flight at
+        # stop time — but those were already folded in on_done.
+        for f in fabric.flows.values():
+            if f.finished:
+                continue
+            stats_stream.add(
+                f.size_bytes, f.fct_ns, f.retx_count, f.timeout_count
+            )
+            if f.timeout_count > 0:
+                afflicted_records.append(_flow_record(f))
+        fabric.flows.clear()
+        # The recovery metric only looks at timeout-afflicted flows, so
+        # the afflicted subset is a faithful substitute for the full
+        # record list.
+        records = afflicted_records
+    else:
+        records = [_flow_record(f) for f in flows]
     total_reroutes = sum(
         host.lb.reroutes for host in fabric.hosts if host.lb is not None
     )
@@ -295,14 +363,13 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         fault_timeline = fault_plane.timeline()
         detection_ns = _detection_latency_ns(fault_plane, shared)
         recovery_ns, unrecovered = _recovery_latency_ns(fault_plane, records)
-    from repro.metrics.fct import LARGE_FLOW_BYTES, SMALL_FLOW_BYTES
 
     return ExperimentResult(
         config=config,
-        stats=FctStats(
-            records,
-            small_bytes=int(SMALL_FLOW_BYTES * config.size_scale),
-            large_bytes=int(LARGE_FLOW_BYTES * config.size_scale),
+        stats=(
+            stats_stream
+            if stats_stream is not None
+            else FctStats(records, small_bytes=small_b, large_bytes=large_b)
         ),
         sim_time_ns=sim.now,
         events=sim.events_fired,

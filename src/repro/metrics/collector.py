@@ -1,14 +1,25 @@
-"""Time-series collectors — compatibility re-exports.
+"""Time-series collectors — deprecated compatibility re-exports.
 
 The samplers moved to :mod:`repro.telemetry.series`, where they share the
 cancellable-tick :class:`~repro.telemetry.series.PeriodicSampler` base
 (the old ``QueueSampler.stop()`` left its pending tick in the heap; the
 migrated one cancels it).  This module keeps the historical import path
-for the motivation microbenchmarks and examples.
+alive but warns: import from ``repro.telemetry.series`` instead.  Every
+in-repo caller has been migrated; the path survives one more release for
+external scripts, then goes away.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from repro.telemetry.series import QueueSampler, UtilizationTracker
 
 __all__ = ["QueueSampler", "UtilizationTracker"]
+
+warnings.warn(
+    "repro.metrics.collector is deprecated; import QueueSampler and "
+    "UtilizationTracker from repro.telemetry.series instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -69,6 +69,11 @@ class FctStats:
             identically (the experiment runner does so automatically).
     """
 
+    #: Discriminator shared with
+    #: :class:`repro.metrics.streaming.StreamingFctStats`, which offers
+    #: the same read surface in O(centroids) memory.
+    is_streaming = False
+
     def __init__(
         self,
         records: Iterable[FlowRecord],

@@ -64,6 +64,13 @@ class Fabric:
         #: Precomputed hooks-off flag for the send/forward hot path (and
         #: the packet-release gate).  Kept honest by _refresh_fast_path().
         self._fast = True
+        #: In-flight packet counts per flow id, enabled by
+        #: :meth:`enable_flow_eviction` (streaming-stats runs).  ``None``
+        #: keeps the hot path free of the bookkeeping.
+        self._inflight: Optional[Dict[int, int]] = None
+        #: Finished flows waiting for their last in-network packet to
+        #: drain before they can leave :attr:`flows`.
+        self._evict_on_quiesce: set = set()
         #: The unified attach/detach surface for all observability hooks
         #: (checker / tracer / audit / profiler) — see :mod:`repro.hooks`.
         self.hooks = HookSet(self)
@@ -127,6 +134,44 @@ class Fabric:
         if self.on_flow_done is not None:
             self.on_flow_done(flow)
 
+    def enable_flow_eviction(self) -> None:
+        """Turn on per-flow in-flight accounting so finished flows can be
+        evicted from :attr:`flows` the moment nothing of theirs remains in
+        the network.  Used by streaming-stats runs; costs one dict update
+        per packet birth/death, which is why it is opt-in."""
+        if self._inflight is None:
+            self._inflight = {}
+
+    def retire_flow(self, flow_id: int) -> None:
+        """Evict a finished flow from the registry — now if the network is
+        already quiet for it, otherwise as soon as its last in-flight
+        packet dies.  Deferral is what keeps streaming runs bit-identical
+        to exact runs: a straggler (a retransmitted segment, the ACK it
+        provokes) must still find the flow object and elicit exactly the
+        response it would have in a run that never evicts."""
+        if self._inflight is None or self._inflight.get(flow_id, 0) == 0:
+            self.flows.pop(flow_id, None)
+        else:
+            self._evict_on_quiesce.add(flow_id)
+
+    def _packet_born(self, flow_id: int) -> None:
+        inflight = self._inflight
+        if inflight is not None:
+            inflight[flow_id] = inflight.get(flow_id, 0) + 1
+
+    def _packet_died(self, flow_id: int) -> None:
+        inflight = self._inflight
+        if inflight is None:
+            return
+        n = inflight.get(flow_id, 0)
+        if n > 1:
+            inflight[flow_id] = n - 1
+            return
+        inflight.pop(flow_id, None)
+        if flow_id in self._evict_on_quiesce:
+            self._evict_on_quiesce.discard(flow_id)
+            self.flows.pop(flow_id, None)
+
     # ------------------------------------------------------------------ #
     # Packet plumbing
     # ------------------------------------------------------------------ #
@@ -144,10 +189,14 @@ class Fabric:
             accepted = packet.route[0].enqueue(packet)
             if not accepted:
                 self.packet_pool.release(packet)
+            elif self._inflight is not None:
+                self._packet_born(packet.flow_id)
             return accepted
         if self._checker is not None:
             self._checker.on_send(packet)
         accepted = packet.route[0].enqueue(packet)
+        if accepted and self._inflight is not None:
+            self._packet_born(packet.flow_id)
         if self._tracer is not None:
             self._tracer.on_send(packet)
         return accepted
@@ -164,17 +213,32 @@ class Fabric:
             packet.hop = hop
             if hop < len(packet.route):
                 if not packet.route[hop].enqueue(packet):
+                    flow_id = packet.flow_id
                     self.packet_pool.release(packet)
+                    if self._inflight is not None:
+                        self._packet_died(flow_id)
             else:
+                flow_id = packet.flow_id
                 self.hosts[packet.dst].receive(packet)
                 self.packet_pool.release(packet)
+                # After receive(): anything the delivery provoked (a dup
+                # ACK, say) is already counted, so the flow's in-flight
+                # count never dips to zero while a response is pending.
+                if self._inflight is not None:
+                    self._packet_died(flow_id)
             return
         if self._tracer is not None:
             self._tracer.on_forward(packet)
         packet.hop += 1
         if packet.hop < len(packet.route):
-            packet.route[packet.hop].enqueue(packet)
+            if (
+                not packet.route[packet.hop].enqueue(packet)
+                and self._inflight is not None
+            ):
+                self._packet_died(packet.flow_id)
         else:
             if self._checker is not None:
                 self._checker.on_deliver(packet)
             self.hosts[packet.dst].receive(packet)
+            if self._inflight is not None:
+                self._packet_died(packet.flow_id)

@@ -1,0 +1,58 @@
+"""repro.serve — the always-on experiment service.
+
+Instead of one-shot bench scripts, a long-lived daemon owns the result
+cache and a worker pool; clients submit experiment grids as jobs and
+stream progress:
+
+* :mod:`repro.serve.state` — job lifecycle (queued → running →
+  done/failed/cancelled) behind one thread-safe table;
+* :mod:`repro.serve.queue` — bounded priority queue: backpressure
+  rejection past capacity, content-addressed dedup of identical work;
+* :mod:`repro.serve.workers` — worker pool over the crash-tolerant
+  grid runner, per-job timeouts, bulkhead isolation, restart-on-crash;
+* :mod:`repro.serve.server` — stdlib ``ThreadingHTTPServer`` JSON API
+  (submit/status/result/cancel/healthz/metrics) + SSE event stream;
+* :mod:`repro.serve.client` — urllib client speaking the same protocol.
+
+CLI: ``repro serve`` (daemon), ``repro submit`` (send a grid and wait),
+``repro jobs`` (inspect).  In-process: ``repro.api.serve()``.
+"""
+
+from repro.serve.client import BackpressureError, ServiceClient, ServiceError
+from repro.serve.queue import JobQueue, QueueFull, Submission, job_key_for
+from repro.serve.server import EventBroker, ExperimentService, serve
+from repro.serve.state import (
+    ACTIVE_STATES,
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+    JobTable,
+)
+from repro.serve.workers import WorkerPool
+
+__all__ = [
+    "ExperimentService",
+    "serve",
+    "ServiceClient",
+    "ServiceError",
+    "BackpressureError",
+    "EventBroker",
+    "JobQueue",
+    "QueueFull",
+    "Submission",
+    "job_key_for",
+    "WorkerPool",
+    "Job",
+    "JobTable",
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+    "ACTIVE_STATES",
+    "TERMINAL_STATES",
+]

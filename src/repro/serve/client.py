@@ -1,0 +1,183 @@
+"""Client for the experiment service — HTTP (urllib, stdlib-only).
+
+The in-process client is :class:`~repro.serve.server.ExperimentService`
+itself (``submit``/``wait``/``result`` are its methods); this module is
+the *remote* half: the same verbs against a running ``repro serve``
+daemon, plus an SSE reader for the event stream.
+
+    client = ServiceClient("http://127.0.0.1:8642")
+    job = client.submit([config.to_dict() for config in grid])
+    client.wait(job["job_id"])
+    rows = client.result(job["job_id"])["cells"]
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.experiments.config import ExperimentConfig
+
+__all__ = ["ServiceClient", "ServiceError", "BackpressureError"]
+
+
+class ServiceError(RuntimeError):
+    """The service answered with an error status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class BackpressureError(ServiceError):
+    """429 — the queue is full; retry later or shed the work."""
+
+
+class ServiceClient:
+    """Talks the service's JSON protocol over urllib.
+
+    Args:
+        base_url: e.g. ``http://127.0.0.1:8642`` (no trailing slash
+            needed).
+        timeout_s: per-request socket timeout.
+    """
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------ #
+    # Verbs
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self,
+        configs: Sequence[Union[ExperimentConfig, Dict[str, Any]]],
+        priority: int = 0,
+        jobs_per_cell: Optional[int] = None,
+        cell_timeout_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Submit a grid; returns ``{"job_id", "state", "deduplicated"}``.
+
+        Raises :class:`BackpressureError` on a 429 (queue full).
+        """
+        payload = {
+            "configs": [
+                c.to_dict() if isinstance(c, ExperimentConfig) else c
+                for c in configs
+            ],
+            "priority": priority,
+            "jobs_per_cell": jobs_per_cell,
+            "cell_timeout_s": cell_timeout_s,
+        }
+        return self._request("POST", "/submit", payload)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/status/{job_id}")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """Finished job's per-cell summaries; raises :class:`ServiceError`
+        (409) while it is still running."""
+        return self._request("GET", f"/result/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/cancel/{job_id}")
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/metrics")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout_s: float = 120.0,
+        poll_s: float = 0.2,
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns the last
+        status either way (check ``state``)."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status = self.status(job_id)
+            if status["state"] not in ("queued", "running"):
+                return status
+            if time.monotonic() >= deadline:
+                return status
+            time.sleep(poll_s)
+
+    # ------------------------------------------------------------------ #
+    # SSE
+    # ------------------------------------------------------------------ #
+
+    def events(
+        self,
+        job_id: Optional[str] = None,
+        timeout_s: float = 60.0,
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield decoded events from ``/events`` (optionally one job's).
+
+        Ends when the server closes the stream (watched job finished)
+        or the socket timeout expires with no traffic — keep-alive
+        comments reset the timer, so an idle-but-healthy stream keeps
+        yielding nothing rather than dying.
+        """
+        url = self.base_url + "/events"
+        if job_id:
+            url += f"?job_id={job_id}"
+        request = urllib.request.Request(url, method="GET")
+        with urllib.request.urlopen(request, timeout=timeout_s) as stream:
+            data_lines: List[str] = []
+            while True:
+                raw = stream.readline()
+                if not raw:
+                    return  # server closed the stream
+                line = raw.decode("utf-8").rstrip("\n")
+                if line.startswith(":"):
+                    continue  # keep-alive comment
+                if line.startswith("data:"):
+                    data_lines.append(line[len("data:"):].strip())
+                    continue
+                if line == "" and data_lines:
+                    yield json.loads("\n".join(data_lines))
+                    data_lines = []
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        url = self.base_url + path
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", str(exc))
+            except Exception:  # noqa: BLE001 — error body is best-effort
+                message = str(exc)
+            if exc.code == 429:
+                raise BackpressureError(exc.code, message) from None
+            raise ServiceError(exc.code, message) from None

@@ -1,0 +1,211 @@
+"""Worker pool: pulls jobs off the queue, runs them, survives crashes.
+
+Isolation is layered:
+
+* **Cell level** — every cell runs in a worker *process* via the
+  crash-tolerant :func:`~repro.experiments.parallel.run_cells` grid
+  runner, which already restarts broken process pools and falls back
+  to serial execution; a segfaulting or OOM-killed cell worker costs
+  that pool round, never the service.
+* **Job level (bulkhead)** — each job executes inside a catch-all on
+  its worker thread: any exception marks *that job* failed and the
+  thread moves on to the next one.  One poisoned job cannot take the
+  pool down.
+* **Pool level** — a supervisor respawns worker threads that died
+  anyway (the catch-all makes this near-impossible, but an always-on
+  service does not get to assume "near").  ``ensure_workers`` runs on
+  every submission and health probe, so the pool self-heals on the
+  paths that matter.
+
+Per-job budgets: ``cell_timeout_s`` is threaded *explicitly* into
+``run_cells`` — service threads must not mutate ``REPRO_CELL_TIMEOUT``
+(process-global, races across concurrent jobs).
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.experiments.parallel import run_cells
+from repro.serve.queue import JobQueue
+from repro.serve.state import DONE, FAILED, RUNNING, JobTable, UnknownJob
+
+__all__ = ["WorkerPool"]
+
+
+class WorkerPool:
+    """``n_workers`` daemon threads draining a :class:`JobQueue`.
+
+    Args:
+        queue / table: the shared service plumbing.
+        n_workers: concurrent jobs (each job fans its *cells* out over
+            processes on its own; keep this small).
+        use_cache / cache_dir: forwarded to ``run_cells``.
+        default_cell_timeout_s: budget for jobs that set none.
+        publish: event-broker callback for per-cell telemetry events.
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        table: JobTable,
+        n_workers: int = 2,
+        use_cache: Optional[bool] = None,
+        cache_dir: Optional[str] = None,
+        default_cell_timeout_s: Optional[float] = None,
+        publish: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.queue = queue
+        self.table = table
+        self.n_workers = n_workers
+        self.use_cache = use_cache
+        self.cache_dir = cache_dir
+        self.default_cell_timeout_s = default_cell_timeout_s
+        self._publish = publish
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        #: Worker threads respawned after an unexpected death — the
+        #: restart-on-crash counter the health endpoint reports.
+        self.restarts = 0
+        #: Jobs completed/failed since start (metrics).
+        self.completed = 0
+        self.failed = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        with self._lock:
+            for i in range(self.n_workers):
+                self._spawn(i)
+
+    def _spawn(self, index: int) -> None:
+        thread = threading.Thread(
+            target=self._work_loop,
+            name=f"repro-serve-worker-{index}",
+            daemon=True,
+        )
+        self._threads.append(thread)
+        thread.start()
+
+    def ensure_workers(self) -> int:
+        """Respawn dead worker threads; returns how many are alive.
+
+        Called from submission and health paths so the pool self-heals
+        without a dedicated supervisor thread.
+        """
+        if self._stop.is_set():
+            return 0
+        with self._lock:
+            for i, thread in enumerate(self._threads):
+                if not thread.is_alive():
+                    self.restarts += 1
+                    thread = threading.Thread(
+                        target=self._work_loop,
+                        name=f"repro-serve-worker-r{self.restarts}",
+                        daemon=True,
+                    )
+                    self._threads[i] = thread
+                    thread.start()
+            return sum(1 for t in self._threads if t.is_alive())
+
+    def alive(self) -> int:
+        with self._lock:
+            return sum(1 for t in self._threads if t.is_alive())
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop pulling new jobs and wait briefly for in-flight ones."""
+        self._stop.set()
+        self.queue.close()
+        for thread in list(self._threads):
+            thread.join(timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    # The loop
+    # ------------------------------------------------------------------ #
+
+    def _work_loop(self) -> None:
+        while not self._stop.is_set():
+            job_id = self.queue.pop(timeout=0.2)
+            if job_id is None:
+                continue
+            try:
+                self._run_job(job_id)
+            except Exception:  # noqa: BLE001 — bulkhead, see module doc
+                # _run_job already tried to mark the job failed; if even
+                # that failed the job table is gone and so is the point
+                # of crashing the worker over it.
+                traceback.print_exc()
+
+    def _run_job(self, job_id: str) -> None:
+        try:
+            job = self.table.get(job_id)
+        except UnknownJob:
+            return
+        self.table.transition(job_id, RUNNING)
+        timeout = (
+            job.cell_timeout_s
+            if job.cell_timeout_s is not None
+            else self.default_cell_timeout_s
+        )
+        try:
+            results = run_cells(
+                job.configs,
+                jobs=job.jobs_per_cell,
+                use_cache=self.use_cache,
+                cache_dir=self.cache_dir,
+                cell_timeout_s=timeout,
+            )
+        except Exception as exc:  # noqa: BLE001 — job bulkhead
+            self.table.transition(
+                job_id, FAILED, error=f"{type(exc).__name__}: {exc}"
+            )
+            with self._lock:
+                self.failed += 1
+            return
+        failed_cells = [r for r in results if r.error is not None]
+        self._emit_cells(job_id, results)
+        if failed_cells:
+            self.table.transition(
+                job_id,
+                FAILED,
+                error=(
+                    f"{len(failed_cells)}/{len(results)} cells failed: "
+                    + "; ".join(r.error for r in failed_cells[:3])
+                ),
+                results=list(results),
+            )
+            with self._lock:
+                self.failed += 1
+        else:
+            self.table.transition(job_id, DONE, results=list(results))
+            with self._lock:
+                self.completed += 1
+
+    def _emit_cells(self, job_id: str, results: List[Any]) -> None:
+        """Publish one telemetry event per finished cell — the series
+        SSE clients chart while a grid completes."""
+        if self._publish is None:
+            return
+        for i, summary in enumerate(results):
+            mean = summary.stats.mean_ms()
+            self._publish(
+                {
+                    "kind": "telemetry",
+                    "event": "cell",
+                    "job_id": job_id,
+                    "cell": i,
+                    "lb": summary.config.lb,
+                    "load": summary.config.load,
+                    # NaN (no finished flows) is not JSON — send null.
+                    "mean_fct_ms": None if mean != mean else mean,
+                    "events": summary.events,
+                    "error": summary.error,
+                }
+            )

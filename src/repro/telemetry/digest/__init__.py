@@ -1,0 +1,35 @@
+"""repro.telemetry.digest — mergeable bounded-memory streaming statistics.
+
+Million-flow cells cannot afford the exact collector's O(flows) sorted
+FCT list, so this package provides two quantile estimators that hold a
+*fixed* amount of state no matter how many values stream through them:
+
+* :class:`~repro.telemetry.digest.tdigest.TDigest` — the merging
+  t-digest (Dunning & Ertl): values cluster into at most O(compression)
+  centroids sized by the arcsine scale function, so accuracy
+  concentrates at the tails (p99 error is far below mid-quantile
+  error).  Fully deterministic — no randomness anywhere — and
+  mergeable: digests built on parallel shards combine into one digest
+  equivalent to a digest of the union.
+* :class:`~repro.telemetry.digest.reservoir.ReservoirSampler` — a
+  seeded Algorithm-R reservoir used as the *cross-check* estimator: a
+  uniform sample of the stream whose percentiles sanity-check the
+  digest's.  Below its capacity it has seen every value, so its
+  quantiles are exact — the preferred estimator for small runs.
+
+Both serialize to plain JSON-safe dicts (``to_dict``/``from_dict``)
+with deterministic round-trips, which is what lets a cached or
+service-served :class:`~repro.experiments.parallel.ResultSummary`
+carry streaming statistics across process and wire boundaries.
+
+The consumer is :class:`repro.metrics.streaming.StreamingFctStats`,
+which keeps one (digest, reservoir) pair per flow-size bucket behind
+the exact :class:`~repro.metrics.fct.FctStats` read surface.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.digest.reservoir import ReservoirSampler
+from repro.telemetry.digest.tdigest import TDigest
+
+__all__ = ["TDigest", "ReservoirSampler"]

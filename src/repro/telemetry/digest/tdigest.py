@@ -1,0 +1,306 @@
+"""Merging t-digest: bounded-memory quantile sketch, deterministic.
+
+The variant implemented here is the *merging* digest (Dunning & Ertl,
+"Computing extremely accurate quantiles using t-digests"): incoming
+values buffer until a threshold, then buffer + existing centroids are
+sorted and re-clustered in one linear pass under the arcsine scale
+function
+
+    k(q) = (compression / 2pi) * asin(2q - 1)
+
+which caps every cluster at one unit of k-size.  Near q=0 and q=1 the
+scale function is steep, so tail clusters stay tiny and tail quantiles
+stay sharp — exactly where FCT analysis (p99) needs them.
+
+Design constraints this implementation honours:
+
+* **Deterministic.**  No randomness; clustering is a pure function of
+  the sorted (mean, weight) multiset, so replaying the same stream
+  reproduces the same centroids bit-for-bit and serialization
+  round-trips exactly — both are load-bearing for the result cache and
+  the golden tests.  (Different insertion *orders* may flush the buffer
+  at different points and land on slightly different — equally valid —
+  centroids; only quantile-level agreement is promised across orders.)
+* **Mergeable / commutative.**  ``merged(other)`` pools both digests'
+  centroids and re-clusters once, so ``a.merged(b)`` and ``b.merged(a)``
+  are bit-identical (same sorted multiset in, same pure function).
+  Associativity holds to within clustering resolution — re-clustering
+  already-merged centroids can shift means slightly — which is why the
+  property tests assert exact commutativity but bounded-error
+  associativity.
+* **Bounded.**  At most ~``2 * compression`` centroids survive a
+  compression pass, and the buffer is capped, so memory is
+  O(compression) regardless of how many values stream through.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Tuple
+
+__all__ = ["TDigest"]
+
+
+class TDigest:
+    """Streaming quantile sketch with O(compression) memory.
+
+    Args:
+        compression: accuracy/size knob (the paper's delta).  More
+            centroids, better quantiles; 100 is the library default in
+            most implementations, 400 gives comfortably <1% relative
+            error at p50/p99 on heavy-tailed FCT distributions.
+    """
+
+    __slots__ = ("compression", "_means", "_weights", "_total",
+                 "_buffer", "_min", "_max", "_buffer_limit")
+
+    def __init__(self, compression: float = 400.0) -> None:
+        if compression < 20:
+            raise ValueError(
+                f"compression must be >= 20, got {compression}"
+            )
+        self.compression = float(compression)
+        self._means: List[float] = []
+        self._weights: List[float] = []
+        self._total = 0.0
+        self._buffer: List[Tuple[float, float]] = []
+        self._min = math.inf
+        self._max = -math.inf
+        # Large enough to amortize the sort, small enough that flushing
+        # stays cheap and memory stays visibly bounded.
+        self._buffer_limit = max(64, int(4 * compression))
+
+    # ------------------------------------------------------------------ #
+    # Ingest
+    # ------------------------------------------------------------------ #
+
+    def add(self, value: float, weight: float = 1.0) -> None:
+        """Fold one observation (optionally weighted) into the sketch."""
+        if not math.isfinite(value):
+            raise ValueError(f"t-digest values must be finite, got {value}")
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        self._buffer.append((float(value), float(weight)))
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if len(self._buffer) >= self._buffer_limit:
+            self._compress()
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    # ------------------------------------------------------------------ #
+    # Clustering
+    # ------------------------------------------------------------------ #
+
+    def _k(self, q: float) -> float:
+        """Scale function: position of quantile ``q`` in k-space."""
+        q = min(1.0, max(0.0, q))
+        return self.compression / (2.0 * math.pi) * math.asin(2.0 * q - 1.0)
+
+    def _q_right(self, k: float) -> float:
+        """Inverse scale: the q where cluster ``k`` must end (k + 1)."""
+        sin_arg = 2.0 * math.pi * k / self.compression
+        if sin_arg >= math.pi / 2.0:
+            return 1.0
+        if sin_arg <= -math.pi / 2.0:
+            return 0.0
+        return (math.sin(sin_arg) + 1.0) / 2.0
+
+    def _compress(self) -> None:
+        """Merge buffer + centroids into a fresh centroid list (pure
+        function of the sorted multiset — determinism lives here)."""
+        if not self._buffer:
+            return
+        pairs = sorted(
+            list(zip(self._means, self._weights)) + self._buffer
+        )
+        self._buffer = []
+        total = math.fsum(w for _, w in pairs)
+        means: List[float] = []
+        weights: List[float] = []
+        cur_mean, cur_weight = pairs[0]
+        weight_so_far = 0.0
+        q_limit = self._q_right(self._k(0.0) + 1.0)
+        for mean, weight in pairs[1:]:
+            if weight_so_far + cur_weight + weight <= q_limit * total:
+                # Same cluster: weighted-mean update.
+                cur_weight += weight
+                cur_mean += (mean - cur_mean) * (weight / cur_weight)
+            else:
+                means.append(cur_mean)
+                weights.append(cur_weight)
+                weight_so_far += cur_weight
+                q_limit = self._q_right(
+                    self._k(weight_so_far / total) + 1.0
+                )
+                cur_mean, cur_weight = mean, weight
+        means.append(cur_mean)
+        weights.append(cur_weight)
+        self._means = means
+        self._weights = weights
+        self._total = total
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def count(self) -> float:
+        """Total ingested weight."""
+        return self._total + math.fsum(w for _, w in self._buffer)
+
+    @property
+    def n_centroids(self) -> int:
+        self._compress()
+        return len(self._means)
+
+    def memory_items(self) -> int:
+        """Retained items (centroids + buffered values) — the number the
+        bounded-memory tests assert on."""
+        return len(self._means) + len(self._buffer)
+
+    @property
+    def min(self) -> float:
+        if self.count == 0:
+            raise ValueError("empty t-digest has no minimum")
+        return self._min
+
+    @property
+    def max(self) -> float:
+        if self.count == 0:
+            raise ValueError("empty t-digest has no maximum")
+        return self._max
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``q`` in [0, 1]).
+
+        Linear interpolation between centroid means, anchored at the
+        exact min/max at the extremes (so q=0 and q=1 are exact).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        self._compress()
+        if self._total == 0:
+            raise ValueError("quantile of an empty t-digest")
+        means, weights = self._means, self._weights
+        if len(means) == 1:
+            return means[0]
+        target = q * self._total
+        # Centroid i's mass is centred at cum_{i-1} + w_i / 2.
+        prev_center = 0.0
+        prev_value = self._min
+        cumulative = 0.0
+        for mean, weight in zip(means, weights):
+            center = cumulative + weight / 2.0
+            if target < center:
+                span = center - prev_center
+                frac = (target - prev_center) / span if span > 0 else 0.0
+                return prev_value + frac * (mean - prev_value)
+            cumulative += weight
+            prev_center = center
+            prev_value = mean
+        span = self._total - prev_center
+        frac = (target - prev_center) / span if span > 0 else 1.0
+        return prev_value + min(1.0, frac) * (self._max - prev_value)
+
+    def cdf(self, value: float) -> float:
+        """Estimate P(X <= value), the inverse of :meth:`quantile`."""
+        self._compress()
+        if self._total == 0:
+            raise ValueError("cdf of an empty t-digest")
+        if value <= self._min:
+            return 0.0 if value < self._min else 1.0 / (2 * self._total)
+        if value >= self._max:
+            return 1.0
+        prev_center = 0.0
+        prev_value = self._min
+        cumulative = 0.0
+        for mean, weight in zip(self._means, self._weights):
+            center = cumulative + weight / 2.0
+            if value < mean:
+                span = mean - prev_value
+                frac = (value - prev_value) / span if span > 0 else 0.0
+                return (prev_center + frac * (center - prev_center)) / self._total
+            cumulative += weight
+            prev_center = center
+            prev_value = mean
+        span = self._max - prev_value
+        frac = (value - prev_value) / span if span > 0 else 1.0
+        return (prev_center + frac * (self._total - prev_center)) / self._total
+
+    # ------------------------------------------------------------------ #
+    # Merge
+    # ------------------------------------------------------------------ #
+
+    def merge(self, other: "TDigest") -> None:
+        """Absorb ``other`` in place (pool centroids, re-cluster once)."""
+        if other.count == 0:
+            return
+        other._compress()
+        pooled = (
+            list(zip(self._means, self._weights))
+            + self._buffer
+            + list(zip(other._means, other._weights))
+        )
+        self._means, self._weights, self._total = [], [], 0.0
+        self._buffer = pooled
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        self._compress()
+
+    def merged(self, other: "TDigest") -> "TDigest":
+        """Commutative out-of-place merge: ``a.merged(b)`` is
+        bit-identical to ``b.merged(a)``.
+
+        Both inputs' centroids are pooled and re-clustered in a *single*
+        compression pass, so the result depends only on the combined
+        sorted multiset — symmetric by construction.
+        """
+        self._compress()
+        other._compress()
+        out = TDigest(max(self.compression, other.compression))
+        out._buffer = list(zip(self._means, self._weights)) + list(
+            zip(other._means, other._weights)
+        )
+        out._min = min(self._min, other._min)
+        out._max = max(self._max, other._max)
+        out._compress()
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe state; ``from_dict`` restores it bit-identically."""
+        self._compress()
+        return {
+            "compression": self.compression,
+            "count": self._total,
+            "min": self._min if self._total else None,
+            "max": self._max if self._total else None,
+            "means": list(self._means),
+            "weights": list(self._weights),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TDigest":
+        digest = cls(data["compression"])
+        digest._means = [float(m) for m in data["means"]]
+        digest._weights = [float(w) for w in data["weights"]]
+        digest._total = float(data["count"])
+        if data.get("min") is not None:
+            digest._min = float(data["min"])
+        if data.get("max") is not None:
+            digest._max = float(data["max"])
+        return digest
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TDigest(compression={self.compression:g}, count={self.count:g}, "
+            f"centroids={len(self._means)})"
+        )

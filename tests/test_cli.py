@@ -104,3 +104,71 @@ class TestCommands:
         assert main(["run", "--lb", "bogus", "--flows", "5"]) == 2
         err = capsys.readouterr().err
         assert "unknown load balancer 'bogus'" in err
+
+
+class TestUnitParsers:
+    def test_parse_bytes(self):
+        import argparse
+
+        from repro.cli import _parse_bytes
+
+        assert _parse_bytes("1024") == 1024
+        assert _parse_bytes("4k") == 4096
+        assert _parse_bytes("500M") == 500 * 1024**2
+        assert _parse_bytes("2gb") == 2 * 1024**3
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_bytes("lots")
+
+    def test_parse_age(self):
+        import argparse
+
+        from repro.cli import _parse_age
+
+        assert _parse_age("90") == 90.0
+        assert _parse_age("30m") == 1800.0
+        assert _parse_age("12h") == 12 * 3600.0
+        assert _parse_age("7d") == 7 * 86400.0
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_age("soon")
+
+
+class TestCachePruneCommand:
+    def test_prune_requires_a_policy(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["cache", "prune"]) == 2
+        assert "--max-bytes and/or --max-age" in capsys.readouterr().err
+
+    def test_prune_reports_reclaimed_bytes(self, tmp_path, monkeypatch, capsys):
+        import os
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        for name, mtime in (("a", 1_000.0), ("b", 2_000.0)):
+            path = tmp_path / f"{name}.pkl"
+            path.write_bytes(b"\0" * 100)
+            os.utime(path, (mtime, mtime))
+        assert main(["cache", "prune", "--max-bytes", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 entries, reclaimed 100 bytes" in out
+        assert "1 entries (100 bytes) remain" in out
+
+
+class TestServeParsing:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8642
+        assert args.workers == 2
+
+    def test_submit_args(self):
+        args = build_parser().parse_args(
+            ["submit", "--schemes", "ecmp,hermes", "--priority", "3",
+             "--no-wait"]
+        )
+        assert args.schemes == "ecmp,hermes"
+        assert args.priority == 3
+        assert args.no_wait
+
+    def test_jobs_args(self):
+        args = build_parser().parse_args(["jobs", "--watch", "job-000001"])
+        assert args.watch == "job-000001"
+        assert args.url.startswith("http://")

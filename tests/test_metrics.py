@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.metrics.collector import QueueSampler, UtilizationTracker
+from repro.telemetry.series import QueueSampler, UtilizationTracker
 from repro.metrics.fct import (
     LARGE_FLOW_BYTES,
     SMALL_FLOW_BYTES,

@@ -156,6 +156,75 @@ class TestCache:
         assert warm.visibility_host_pair == cold.visibility_host_pair
 
 
+class TestCachePrune:
+    @staticmethod
+    def _plant(cache, name, n_bytes, mtime):
+        path = os.path.join(cache.directory, f"{name}.pkl")
+        with open(path, "wb") as fh:
+            fh.write(b"\0" * n_bytes)
+        os.utime(path, (mtime, mtime))
+        return path
+
+    def test_total_bytes(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.total_bytes() == 0
+        self._plant(cache, "a", 100, 1_000.0)
+        self._plant(cache, "b", 250, 2_000.0)
+        assert cache.total_bytes() == 350
+
+    def test_prune_by_age(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        self._plant(cache, "old", 100, 1_000.0)
+        self._plant(cache, "new", 200, 9_000.0)
+        removed, reclaimed = cache.prune(max_age_s=5_000.0, now=10_000.0)
+        assert (removed, reclaimed) == (1, 100)
+        assert cache.size() == 1
+        assert cache.total_bytes() == 200
+
+    def test_prune_by_size_evicts_oldest_first(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        self._plant(cache, "oldest", 100, 1_000.0)
+        self._plant(cache, "middle", 100, 2_000.0)
+        self._plant(cache, "newest", 100, 3_000.0)
+        removed, reclaimed = cache.prune(max_bytes=150)
+        assert (removed, reclaimed) == (2, 200)
+        survivors = [n for n in os.listdir(str(tmp_path)) if n.endswith(".pkl")]
+        assert survivors == ["newest.pkl"]
+
+    def test_prune_both_policies(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        self._plant(cache, "stale", 50, 1_000.0)
+        self._plant(cache, "big", 400, 8_000.0)
+        self._plant(cache, "keep", 100, 9_000.0)
+        removed, reclaimed = cache.prune(
+            max_bytes=100, max_age_s=5_000.0, now=10_000.0
+        )
+        assert (removed, reclaimed) == (2, 450)
+        survivors = [n for n in os.listdir(str(tmp_path)) if n.endswith(".pkl")]
+        assert survivors == ["keep.pkl"]
+
+    def test_prune_noop_within_budget(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        self._plant(cache, "a", 100, 9_000.0)
+        assert cache.prune(max_bytes=1_000, max_age_s=10_000.0, now=9_500.0) == (
+            0,
+            0,
+        )
+        assert cache.size() == 1
+
+    def test_prune_real_entries_then_rerun_repopulates(self, tmp_path):
+        config = tiny_config(seed=5)
+        cache = ResultCache(str(tmp_path))
+        cold = run_cell(config, cache_dir=str(tmp_path))
+        assert cache.total_bytes() > 0
+        removed, reclaimed = cache.prune(max_bytes=0)
+        assert removed == 1 and reclaimed > 0
+        assert cache.size() == 0
+        warm = run_cell(config, cache_dir=str(tmp_path))
+        assert _summaries_equal(cold, warm)
+        assert cache.size() == 1
+
+
 class TestCacheKey:
     def test_stable_across_identical_configs(self):
         assert config_key(tiny_config()) == config_key(tiny_config())

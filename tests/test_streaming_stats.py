@@ -1,0 +1,298 @@
+"""StreamingFctStats: collector semantics + experiment integration.
+
+Two layers under test:
+
+* the collector itself — exact counters, estimator-of-record selection
+  (reservoir while exact, t-digest beyond), shard merging, JSON round
+  trip, and the bounded-memory guarantee at million-flow scale;
+* the runner wiring — ``streaming_stats=True`` runs the same simulation
+  (bit-identical aggregate results on the golden grid) while retaining
+  no per-flow records, auto-mode flips at ``STREAMING_AUTO_FLOWS``, and
+  ``save_result``/``load_result`` round-trip the streaming state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import math
+import random
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import ResultSummary, run_cells
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import bench_topology
+from repro.metrics.fct import FctStats, FlowRecord
+from repro.metrics.streaming import (
+    DEFAULT_RESERVOIR,
+    STREAMING_AUTO_FLOWS,
+    StreamingFctStats,
+)
+
+
+def _records(n, seed=1, unfinished_every=50):
+    rng = random.Random(seed)
+    records = []
+    for i in range(n):
+        size = rng.choice([2_000, 50_000, 500_000, 20_000_000])
+        fct = (
+            None
+            if unfinished_every and i % unfinished_every == 7
+            else int(rng.lognormvariate(13.0, 1.5))
+        )
+        records.append(
+            FlowRecord(
+                flow_id=i,
+                src=0,
+                dst=1,
+                size_bytes=size,
+                start_ns=i,
+                fct_ns=fct,
+                retransmissions=rng.randrange(3),
+                timeouts=rng.randrange(2),
+            )
+        )
+    return records
+
+
+class TestCollector:
+    def test_exact_aggregates_match_fctstats(self):
+        records = _records(3_000)
+        exact = FctStats(records)
+        streaming = StreamingFctStats(seed=1)
+        for record in records:
+            streaming.add_record(record)
+        assert streaming.count == exact.count
+        assert streaming.finished_count == exact.finished_count
+        assert streaming.unfinished_count == exact.unfinished_count
+        assert streaming.unfinished_fraction == exact.unfinished_fraction
+        # Means are computed from exact sums — equal, not approximate.
+        assert streaming.mean_ms() == pytest.approx(exact.mean_ms(), rel=1e-12)
+        assert streaming.mean_ms(10**9) == pytest.approx(
+            exact.mean_ms(10**9), rel=1e-12
+        )
+        assert streaming.small.mean_ms() == pytest.approx(
+            exact.small.mean_ms(), rel=1e-12
+        )
+        assert streaming.large.mean_ms() == pytest.approx(
+            exact.large.mean_ms(), rel=1e-12
+        )
+        assert (
+            streaming.total_retransmissions() == exact.total_retransmissions()
+        )
+
+    def test_estimator_of_record_switches(self):
+        streaming = StreamingFctStats(seed=1)
+        for record in _records(100, unfinished_every=0):
+            streaming.add_record(record)
+        # 100 finished flows: the reservoir still holds everything.
+        assert streaming.estimators() == {"p50": "reservoir", "p99": "reservoir"}
+        exact = FctStats(_records(100, unfinished_every=0))
+        assert streaming.median_ms() == pytest.approx(exact.median_ms())
+        assert streaming.p99_ms() == pytest.approx(exact.p99_ms())
+        for record in _records(DEFAULT_RESERVOIR + 100, seed=2):
+            streaming.add_record(record)
+        assert streaming.estimators() == {"p50": "tdigest", "p99": "tdigest"}
+
+    def test_percentiles_within_one_percent_at_scale(self):
+        records = _records(60_000, unfinished_every=0)
+        exact = FctStats(records)
+        streaming = StreamingFctStats(seed=1)
+        for record in records:
+            streaming.add_record(record)
+        for estimate, truth in (
+            (streaming.median_ms(), exact.median_ms()),
+            (streaming.p99_ms(), exact.p99_ms()),
+        ):
+            assert abs(estimate - truth) / truth < 0.01
+        # And the cross-check estimator agrees to sampling noise.
+        assert abs(streaming.cross_check_ms(99.0) - exact.p99_ms()) / (
+            exact.p99_ms()
+        ) < 0.15
+
+    def test_empty_collector(self):
+        streaming = StreamingFctStats()
+        assert math.isnan(streaming.mean_ms())
+        assert math.isnan(streaming.median_ms())
+        assert streaming.quantile_ns(50.0) == (None, "none")
+        assert streaming.estimators() == {"p50": "none", "p99": "none"}
+        assert streaming.records == ()
+
+    def test_subset_unsupported(self):
+        with pytest.raises(NotImplementedError):
+            StreamingFctStats().subset(lambda r: True)
+
+    def test_merge_shards_matches_single_stream(self):
+        records = _records(8_000)
+        whole = StreamingFctStats(seed=1)
+        for record in records:
+            whole.add_record(record)
+        shards = [StreamingFctStats(seed=1) for _ in range(3)]
+        for i, record in enumerate(records):
+            shards[i % 3].add_record(record)
+        merged = shards[0]
+        merged.merge(shards[1])
+        merged.merge(shards[2])
+        assert merged.count == whole.count
+        assert merged.finished_count == whole.finished_count
+        assert merged.mean_ms() == pytest.approx(whole.mean_ms(), rel=1e-12)
+        assert merged.small.count == whole.small.count
+        assert merged.p99_ms() == pytest.approx(whole.p99_ms(), rel=0.02)
+
+    def test_merge_rejects_mismatched_buckets(self):
+        a = StreamingFctStats(small_bytes=100)
+        b = StreamingFctStats(small_bytes=200)
+        with pytest.raises(ValueError, match="size buckets"):
+            a.merge(b)
+
+    def test_json_round_trip(self):
+        import json
+
+        streaming = StreamingFctStats(seed=3)
+        for record in _records(5_000):
+            streaming.add_record(record)
+        doc = json.loads(json.dumps(streaming.to_dict()))
+        restored = StreamingFctStats.from_dict(doc)
+        assert restored.to_dict() == streaming.to_dict()
+        assert restored.count == streaming.count
+        assert restored.mean_ms() == streaming.mean_ms()
+        assert restored.p99_ms() == streaming.p99_ms()
+        assert restored.small.mean_ms() == streaming.small.mean_ms()
+
+    def test_million_flows_bounded_memory(self):
+        """The acceptance bar: a million FCTs stream through in
+        O(centroids + reservoir) retained items — about four decades
+        below the flow count — with p50/p99 within 1% of exact."""
+        rng = random.Random(1)
+        streaming = StreamingFctStats(seed=1)
+        values = []
+        for _ in range(1_000_000):
+            fct = int(rng.lognormvariate(13.0, 1.6))
+            values.append(fct)
+            streaming.add(50_000, fct)
+        assert streaming.count == 1_000_000
+        # 3 collectors x (reservoir + digest); digest buffers are capped.
+        budget = 3 * (DEFAULT_RESERVOIR + 4 * 400 + 2 * 400)
+        assert streaming.memory_items() <= budget
+        from repro.metrics.fct import percentile
+
+        values.sort()
+        for q, estimate in (
+            (50.0, streaming.median_ms()),
+            (99.0, streaming.p99_ms()),
+        ):
+            truth = percentile(values, q) / 1e6
+            assert abs(estimate - truth) / truth < 0.01
+
+
+class TestRunnerIntegration:
+    @pytest.fixture(scope="class")
+    def topo(self):
+        return bench_topology(n_leaves=2, n_spines=2, hosts_per_leaf=4)
+
+    def _config(self, topo, **kwargs):
+        base = dict(
+            topology=topo,
+            lb="hermes",
+            workload="web-search",
+            load=0.5,
+            n_flows=40,
+            seed=1,
+            size_scale=0.05,
+            time_scale=0.05,
+        )
+        base.update(kwargs)
+        return ExperimentConfig(**base)
+
+    def test_streaming_run_matches_exact_run(self, topo):
+        """Same simulation either way: aggregate statistics identical to
+        the exact collector's (the golden-grid guarantee, one cell)."""
+        exact = run_experiment(self._config(topo, streaming_stats=False))
+        streaming = run_experiment(self._config(topo, streaming_stats=True))
+        assert streaming.stats.is_streaming
+        assert not exact.stats.is_streaming
+        assert streaming.events == exact.events
+        assert streaming.sim_time_ns == exact.sim_time_ns
+        assert streaming.stats.count == exact.stats.count
+        assert streaming.stats.finished_count == exact.stats.finished_count
+        assert streaming.stats.mean_ms() == pytest.approx(
+            exact.stats.mean_ms(), rel=1e-12
+        )
+        # 40 flows → reservoir is exact → percentiles equal too.
+        assert streaming.stats.p99_ms() == pytest.approx(
+            exact.stats.p99_ms(), rel=1e-9
+        )
+        # No per-flow state retained anywhere.
+        assert streaming.stats.records == ()
+        assert streaming.fabric is not None
+        assert len(streaming.fabric.flows) == 0
+
+    def test_eviction_defers_until_stragglers_drain(self, topo):
+        """Regression: at higher load and flow counts, finished hermes
+        flows still receive stragglers (a retransmitted segment must
+        elicit its dup ACK).  Naive evict-on-finish swallowed those and
+        changed the event count; quiescence-aware eviction must not."""
+        config = self._config(
+            topo, load=0.7, n_flows=200, size_scale=0.1, time_scale=0.1
+        )
+        exact = run_experiment(dataclasses.replace(config, streaming_stats=False))
+        stream = run_experiment(dataclasses.replace(config, streaming_stats=True))
+        assert stream.events == exact.events
+        assert stream.sim_time_ns == exact.sim_time_ns
+        assert stream.stats.count == exact.stats.count
+        assert stream.stats.finished_count == exact.stats.finished_count
+        assert stream.stats.mean_ms() == pytest.approx(
+            exact.stats.mean_ms(), rel=1e-12
+        )
+        assert len(stream.fabric.flows) == 0
+
+    def test_auto_mode_thresholds(self, topo):
+        below = self._config(topo, n_flows=100)
+        at = dataclasses.replace(below, n_flows=STREAMING_AUTO_FLOWS)
+        assert not below.streaming_enabled()
+        assert at.streaming_enabled()
+        assert self._config(
+            topo, n_flows=100, streaming_stats=True
+        ).streaming_enabled()
+        assert not dataclasses.replace(
+            at, streaming_stats=False
+        ).streaming_enabled()
+
+    def test_summary_records_estimators(self, topo):
+        streaming, exact = run_cells(
+            [
+                self._config(topo, streaming_stats=True),
+                self._config(topo, streaming_stats=False),
+            ],
+            jobs=1,
+            use_cache=False,
+        )
+        assert streaming.percentile_estimators == {
+            "p50": "reservoir",
+            "p99": "reservoir",
+        }
+        assert exact.percentile_estimators == {"p50": "exact", "p99": "exact"}
+
+    def test_save_load_round_trip(self, topo):
+        from repro.api import load_result, save_result
+
+        result = run_experiment(self._config(topo, streaming_stats=True))
+        buffer = io.StringIO()
+        save_result(ResultSummary.from_result(result), buffer)
+        buffer.seek(0)
+        loaded = load_result(buffer)
+        assert loaded.stats.is_streaming
+        assert loaded.stats.count == result.stats.count
+        assert loaded.stats.mean_ms() == result.stats.mean_ms()
+        assert loaded.stats.p99_ms() == result.stats.p99_ms()
+        assert loaded.percentile_estimators["p99"] == "reservoir"
+        assert loaded.config == result.config
+
+    def test_streaming_is_part_of_cache_key(self, topo):
+        from repro.experiments.parallel import config_key
+
+        exact_cfg = self._config(topo, streaming_stats=False)
+        stream_cfg = self._config(topo, streaming_stats=True)
+        assert config_key(exact_cfg) != config_key(stream_cfg)

@@ -149,11 +149,19 @@ class TestPeriodicSampler:
         assert sampler.mean_backlog("p") == pytest.approx(200.0)
         assert sampler.stddev_backlog("p") == pytest.approx(100.0)
 
-    def test_collector_compat_import(self):
-        from repro.metrics.collector import QueueSampler as CompatSampler
+    def test_collector_compat_import_warns(self):
+        """The legacy path still resolves to the migrated classes, but
+        importing it is now a DeprecationWarning pointing at
+        telemetry.series (in-repo callers are all migrated)."""
+        import importlib
+        import sys
+
         from repro.telemetry.series import QueueSampler as NewSampler
 
-        assert CompatSampler is NewSampler
+        sys.modules.pop("repro.metrics.collector", None)
+        with pytest.warns(DeprecationWarning, match="telemetry.series"):
+            compat = importlib.import_module("repro.metrics.collector")
+        assert compat.QueueSampler is NewSampler
 
     def test_ecn_fraction_series(self, sim):
         class FakePort:
