@@ -69,6 +69,7 @@ def run_grid(
     extra_drain_ns: int = 2_000_000_000,
     presto_weighted: bool = False,
     jobs: Optional[int] = None,
+    detector: Optional[str] = None,
 ) -> Dict[str, Dict[float, List[ResultSummary]]]:
     """Run a (scheme x load x seed) grid and return all results.
 
@@ -97,6 +98,7 @@ def run_grid(
             time_scale=time_scale,
             failure=failure,
             faults=faults,
+            detector=detector,
             hermes_overrides=hermes_overrides or {},
             extra_drain_ns=extra_drain_ns,
             **scheme_kwargs(lb, topology),

@@ -111,6 +111,12 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
                              "link_up@20ms:leaf=0,spine=1' or "
                              "'flap@2ms:leaf=0,spine=0,period=4ms,"
                              "duty=0.5,until=30ms' (times in ns/us/ms/s)")
+    parser.add_argument("--detector", default=None, metavar="SPEC",
+                        help="failure-detection plane (repro.detect), "
+                             "e.g. 'transport', 'bfd:tx=100us,mult=3', "
+                             "'breaker:threshold=0.5,open=50ms', "
+                             "'quorum:transport+bfd' or "
+                             "'fastest:transport+bfd'")
     parser.add_argument("--drain-ms", type=float, default=None,
                         help="cap the post-arrival drain (default 2000); "
                              "Fig. 16-style runs cap it so flows a "
@@ -188,6 +194,7 @@ def _config_from_args(args, lb: str) -> ExperimentConfig:
         time_scale=time_scale,
         failure=failure,
         faults=faults,
+        detector=getattr(args, "detector", None),
         **extra,
     )
     return _apply_common(config, args)
@@ -410,7 +417,9 @@ def cmd_golden(args) -> int:
     from repro.validate import golden
 
     path = args.path or golden.DEFAULT_PATH
-    actual = golden.compute_reference(scheduler=args.scheduler)
+    actual = golden.compute_reference(
+        scheduler=args.scheduler, detector=getattr(args, "detector", None)
+    )
     if args.refresh:
         golden.write_reference(actual, path)
         print(f"golden reference written to {path}")
@@ -830,6 +839,11 @@ def build_parser() -> argparse.ArgumentParser:
     golden_parser.add_argument("--path", default=None,
                                help="reference JSON location (default: "
                                     "tests/golden/reference_grid.json)")
+    golden_parser.add_argument("--detector", default=None, metavar="SPEC",
+                               help="attach a repro.detect spec to every "
+                                    "cell; passive detectors (transport, "
+                                    "breaker) must reproduce the committed "
+                                    "reference bit-for-bit")
     golden_parser.set_defaults(fn=cmd_golden)
 
     trace_parser = sub.add_parser(

@@ -87,6 +87,18 @@ class HermesLB(LoadBalancer):
         state = self.leaf_state
         current = flow.current_path if flow.current_path >= 0 else None
         excluded = {p for p in paths if (flow.dst, p) in self.failed_pairs}
+        detector = self.detector
+        if detector is not None:
+            # A configured detector's DOWN verdicts overlay Algorithm 2's
+            # own blackhole set — but never to the point of excluding
+            # every path (the never-strand rule).
+            down = {
+                p
+                for p in paths
+                if p not in excluded and detector.is_failed(dst_leaf, p)
+            }
+            if len(excluded) + len(down) < len(paths):
+                excluded |= down
 
         audit = self.audit
         needs_placement = (
@@ -224,6 +236,8 @@ class HermesLB(LoadBalancer):
         self.leaf_state.record_ack(
             self.topology.leaf_of(flow.dst), path_id, ece, rtt_ns
         )
+        if self.detector is not None:
+            self.detector.note_ok(self.topology.leaf_of(flow.dst), path_id)
         if path_id == flow.current_path:
             record = self._record(flow)
             record[1] += 1  # a packet on this path was ACKed
@@ -233,6 +247,8 @@ class HermesLB(LoadBalancer):
             return
         dst_leaf = self.topology.leaf_of(flow.dst)
         self.leaf_state.record_timeout(dst_leaf, path_id)
+        if self.detector is not None:
+            self.detector.note_timeout(dst_leaf, path_id)
         record = self._record(flow)
         record[0] += 1
         if (
@@ -257,6 +273,10 @@ class HermesLB(LoadBalancer):
         self.leaf_state.record_retransmit(
             self.topology.leaf_of(flow.dst), path_id, flow.flow_id
         )
+        if self.detector is not None:
+            self.detector.note_retransmit(
+                self.topology.leaf_of(flow.dst), path_id
+            )
 
     def on_flow_done(self, flow: "FlowBase") -> None:
         self._flow_record.pop(flow.flow_id, None)

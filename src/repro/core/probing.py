@@ -57,6 +57,12 @@ class HermesProber:
         self._prev_best: Dict[int, int] = {}
         self.probes_sent = 0
         self.replies_received = 0
+        #: Probes (or their replies) that died in-fabric — admin-down
+        #: links eat probes exactly like data packets, and for a long
+        #: time those deaths were invisible: ``probes_sent`` minus
+        #: ``replies_received`` conflated losses with replies merely
+        #: still in flight.  Wired by install_probe_loss_accounting.
+        self.probes_lost = 0
         self._started = False
         fabric.hosts[self.agent_host].probe_sink = self.on_reply
 
@@ -110,6 +116,36 @@ class HermesProber:
             best_rtt = self.leaf_state.state(dst_leaf, best).rtt_ns
             if rtt < best_rtt:
                 self._prev_best[dst_leaf] = reply.path_id
+
+
+def install_probe_loss_accounting(fabric: "Fabric", probers: Dict[int, HermesProber]) -> None:
+    """Attribute dropped Hermes probes back to the prober that sent them.
+
+    The fabric calls :attr:`Fabric.probe_drop_sink` with every dying
+    PROBE/PROBE_REPLY; Hermes probes are the ones stamped flow_id 0.  An
+    outbound probe is charged to the *source* agent's prober, a dying
+    reply to the *destination* (the original prober, who will now wait
+    forever).  Non-Hermes probe drops (detector heartbeats, breaker
+    trials) fall through to whatever sink was installed before."""
+    from repro.net.packet import PacketKind
+
+    agents = {prober.agent_host: prober for prober in probers.values()}
+    prev = fabric.probe_drop_sink
+
+    def sink(packet, _agents=agents, _prev=prev) -> None:
+        if packet.flow_id == 0:
+            owner = _agents.get(
+                packet.src
+                if packet.kind == PacketKind.PROBE
+                else packet.dst
+            )
+            if owner is not None:
+                owner.probes_lost += 1
+                return
+        if _prev is not None:
+            _prev(packet)
+
+    fabric.probe_drop_sink = sink
 
 
 def probe_overhead_model(

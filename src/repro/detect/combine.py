@@ -1,0 +1,160 @@
+"""Verdict combination: quorum and fastest-of detector composition.
+
+Layered detection only pays off if the layers cover for each other:
+BFD is fast but a queueing spike can starve heartbeats; transport
+evidence is slow but grounded in real traffic.  Combiners hold several
+member detectors, forward all passive evidence to each, and derive a
+*combined* verdict per (dst_leaf, path):
+
+- :class:`QuorumDetector` — DOWN only when at least ``quorum`` members
+  say DOWN (default: a strict majority).  A single layer's false
+  positive cannot strand a path.
+- :class:`FastestOfDetector` — DOWN as soon as *any* member says DOWN
+  (a quorum of one).  Detection latency is the minimum over members;
+  false positives are the union.
+
+Members push: every member verdict flip triggers a recomputation of
+the combined verdict for that pair (via the flip-listener hook on
+:class:`~repro.detect.base.Detector`), so the combiner keeps its own
+``detection_times`` — stamped when the *combination* crossed into
+DOWN, which is the number the detection-latency metric should see.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.detect.base import DOWN, SUSPECT, UP, VERDICT_NAMES, Detector
+
+
+class ComboDetector(Detector):
+    """Shared machinery for verdict-combining detectors."""
+
+    def __init__(self, fabric, leaf: int, members: Sequence, quorum: int) -> None:
+        members = tuple(members)
+        if len(members) < 2:
+            raise ValueError("combiners need at least two member detectors")
+        if not 1 <= quorum <= len(members):
+            raise ValueError("quorum must be within 1..len(members)")
+        self.members = members
+        self._audit = None
+        super().__init__(fabric, leaf)
+        self.quorum = quorum
+        self._combined: Dict[Tuple[int, int], int] = {}
+        for member in members:
+            member.add_flip_listener(self._member_flip)
+
+    @property
+    def active(self) -> bool:  # type: ignore[override]
+        return any(member.active for member in self.members)
+
+    # The audit hook fans out: member flips are audited with the member
+    # as the source, combined flips with the combiner itself.
+    @property
+    def audit(self):
+        return self._audit
+
+    @audit.setter
+    def audit(self, value) -> None:
+        self._audit = value
+        for member in self.members:
+            member.audit = value
+
+    # ------------------------------------------------------------------ #
+    # Verdicts
+    # ------------------------------------------------------------------ #
+
+    def path_verdict(self, dst_leaf: int, path: int) -> int:
+        down = 0
+        adverse = 0
+        for member in self.members:
+            verdict = member.path_verdict(dst_leaf, path)
+            if verdict == DOWN:
+                down += 1
+                adverse += 1
+            elif verdict == SUSPECT:
+                adverse += 1
+        if down >= self.quorum:
+            return DOWN
+        if adverse:
+            return SUSPECT
+        return UP
+
+    def _member_flip(self, member, dst_leaf: int, path: int,
+                     old: int, new: int) -> None:
+        key = (dst_leaf, path)
+        combined = self.path_verdict(dst_leaf, path)
+        previous = self._combined.get(key, UP)
+        if combined == previous:
+            return
+        self._combined[key] = combined
+        self._flip(
+            dst_leaf,
+            path,
+            previous,
+            combined,
+            f"member-{member.name}-{VERDICT_NAMES[new]}",
+            f"quorum={self.quorum}/{len(self.members)}",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Evidence feeds fan out to every member
+    # ------------------------------------------------------------------ #
+
+    def note_timeout(self, dst_leaf: int, path: int) -> bool:
+        tripped = False
+        for member in self.members:
+            tripped = member.note_timeout(dst_leaf, path) or tripped
+        return tripped
+
+    def note_retransmit(self, dst_leaf: int, path: int) -> bool:
+        tripped = False
+        for member in self.members:
+            tripped = member.note_retransmit(dst_leaf, path) or tripped
+        return tripped
+
+    def note_ok(self, dst_leaf: int, path: int) -> None:
+        for member in self.members:
+            member.note_ok(dst_leaf, path)
+
+    def mark_failed(self, dst_leaf: int, path: int) -> bool:
+        tripped = False
+        for member in self.members:
+            tripped = member.mark_failed(dst_leaf, path) or tripped
+        return tripped
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle / reporting
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        for member in self.members:
+            member.start()
+
+    def metrics(self) -> dict:
+        out = super().metrics()
+        out["quorum"] = self.quorum
+        out["members"] = [member.metrics() for member in self.members]
+        return out
+
+
+class QuorumDetector(ComboDetector):
+    """DOWN when at least ``quorum`` members agree (default majority)."""
+
+    name = "quorum"
+
+    def __init__(self, fabric, leaf: int, members: Sequence,
+                 quorum: int = 0) -> None:
+        members = tuple(members)
+        if quorum <= 0:
+            quorum = len(members) // 2 + 1
+        super().__init__(fabric, leaf, members, quorum)
+
+
+class FastestOfDetector(ComboDetector):
+    """DOWN as soon as any member is (quorum of one)."""
+
+    name = "fastest"
+
+    def __init__(self, fabric, leaf: int, members: Sequence) -> None:
+        super().__init__(fabric, leaf, tuple(members), 1)

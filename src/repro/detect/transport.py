@@ -1,0 +1,115 @@
+"""TransportDetector: today's passive timeout/retx sensing as a detector.
+
+This is :class:`repro.lb.failaware.LeafPathHealth` — the evidence rules
+Hermes derives from §3.1.2 (timeouts fail a path immediately,
+retransmissions only past a windowed threshold, a completed round trip
+is proof of life) — dressed in the detector protocol.  It stays a
+subclass rather than a wrapper so the zoo schemes that were written
+against a health table (REPS, DiffFlow, RDNA) run *exactly* the same
+code when the experiment asks for ``detector="transport"``: same dict
+lookups, same verdict timing, same RNG silence.
+
+The detector is fully passive: it schedules no events, sends no
+packets and draws no randomness, so attaching it to any scheme leaves
+a failure-free run bit-identical.  Detection latency is bounded below
+by the transport's RTO floor — the reason :class:`~repro.detect.bfd.
+BfdDetector` exists.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.detect.base import DOWN, SUSPECT, UP, FlipListener
+from repro.lb.failaware import (
+    DEFAULT_HOLD_NS,
+    DEFAULT_RETX_THRESHOLD,
+    DEFAULT_RETX_WINDOW_NS,
+    LeafPathHealth,
+)
+
+
+class TransportDetector(LeafPathHealth):
+    """Passive transport-evidence detector (drop-in ``LeafPathHealth``)."""
+
+    name = "transport"
+    active = False
+
+    def __init__(
+        self,
+        fabric,
+        leaf: int,
+        hold_ns: int = DEFAULT_HOLD_NS,
+        retx_threshold: int = DEFAULT_RETX_THRESHOLD,
+        retx_window_ns: int = DEFAULT_RETX_WINDOW_NS,
+    ) -> None:
+        super().__init__(
+            fabric,
+            leaf,
+            hold_ns=hold_ns,
+            retx_threshold=retx_threshold,
+            retx_window_ns=retx_window_ns,
+        )
+        self.audit = None
+        #: Evidence absorbed while a hold was already standing.
+        self.flap_suppressions = 0
+        self._flip_listeners: List[FlipListener] = []
+
+    # -- detector protocol additions ----------------------------------- #
+
+    @property
+    def false_positive_count(self) -> int:
+        """Verdicts lifted by proof-of-life ACKs (``false_alarms``)."""
+        return self.false_alarms
+
+    def path_verdict(self, dst_leaf: int, path: int) -> int:
+        if self.is_failed(dst_leaf, path):
+            return DOWN
+        window = self._retx.get((dst_leaf, path))
+        if (
+            window is not None
+            and window[1] > 0
+            and self.sim.now - window[0] <= self.retx_window_ns
+        ):
+            return SUSPECT
+        return UP
+
+    def start(self) -> None:
+        """Passive: nothing to start."""
+
+    def add_flip_listener(self, listener: FlipListener) -> None:
+        self._flip_listeners.append(listener)
+
+    def _notify(self, dst_leaf: int, path: int, old: int, new: int, cause: str) -> None:
+        audit = self.audit
+        if audit is not None:
+            audit.on_verdict(self, dst_leaf, path, old, new, cause, "")
+        for listener in self._flip_listeners:
+            listener(self, dst_leaf, path, old, new)
+
+    def metrics(self) -> dict:
+        return {
+            "detector": self.name,
+            "detections": self.failed_detections,
+            "false_positive_count": self.false_positive_count,
+            "flap_suppressions": self.flap_suppressions,
+        }
+
+    # -- evidence feeds: same verdict logic, now observable ------------- #
+
+    def mark_failed(self, dst_leaf: int, path: int) -> bool:
+        fresh = super().mark_failed(dst_leaf, path)
+        if fresh:
+            self._notify(dst_leaf, path, UP, DOWN, "transport-evidence")
+        else:
+            # The hold window is the flap suppressor: repeated evidence
+            # against an already-failed path extends the hold without a
+            # second detection.
+            self.flap_suppressions += 1
+        return fresh
+
+    def note_ok(self, dst_leaf: int, path: int) -> None:
+        was_failed = path >= 0 and self.is_failed(dst_leaf, path)
+        super().note_ok(dst_leaf, path)
+        if was_failed:
+            self._notify(dst_leaf, path, DOWN, UP, "proof-of-life")

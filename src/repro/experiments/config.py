@@ -118,6 +118,16 @@ class ExperimentConfig:
             config (and bypasses the result cache).  Not part of the
             result, only of how fast it is computed — but kept in the
             cache key so A/B benches never share entries.
+        detector: optional failure-detector spec (see
+            :mod:`repro.detect`): ``"transport"``,
+            ``"bfd:tx=100us,mult=3"``, ``"breaker:threshold=0.5"``,
+            ``"quorum:transport+bfd"`` or ``"fastest:transport+bfd"``.
+            ``None`` (default) keeps each scheme's built-in sensing
+            (Hermes' Algorithm 1, the zoo's ``LeafPathHealth``) and adds
+            zero cost.  When set, every scheme consults the configured
+            detector for path verdicts; time-valued *defaults* in the
+            spec scale with ``time_scale``.  A plain string, so it is
+            part of the result-cache key automatically.
     """
 
     topology: TopologyConfig
@@ -142,6 +152,7 @@ class ExperimentConfig:
     trace: bool = False
     streaming_stats: Optional[bool] = None
     scheduler: str = DEFAULT_SCHEDULER
+    detector: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.transport not in TRANSPORTS:
@@ -165,6 +176,13 @@ class ExperimentConfig:
                 "streaming_stats must be True, False or None (auto), "
                 f"got {self.streaming_stats!r}"
             )
+        if self.detector is not None:
+            # Validate eagerly so a typo fails at config time, not three
+            # layers deep in an installer.  Imported here: repro.detect
+            # pulls in lb/net modules this module must not depend on.
+            from repro.detect.spec import parse_detector
+
+            parse_detector(self.detector)
 
     def streaming_enabled(self) -> bool:
         """Whether this run collects FCT statistics via the streaming

@@ -107,6 +107,13 @@ class ResultSummary:
     #: Engine that ran the cell (+ derived wheel geometry for
     #: ``wheel:auto``) — see :attr:`ExperimentResult.scheduler_info`.
     scheduler_info: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: Folded counters of the configured detection plane (see
+    #: :attr:`ExperimentResult.detector_metrics`); empty when the cell
+    #: ran without a ``detector``.
+    detector_metrics: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: In-fabric probe/heartbeat deaths (see
+    #: :attr:`ExperimentResult.probe_losses`).
+    probe_losses: int = 0
     #: Why the cell produced no result (``None`` for a successful run).
     #: Set for cells that exceeded ``REPRO_CELL_TIMEOUT``; failed cells
     #: are never written to the cache.
@@ -142,6 +149,8 @@ class ResultSummary:
             recovery_ns=result.recovery_ns,
             unrecovered_timeouts=result.unrecovered_timeouts,
             scheduler_info=result.scheduler_info,
+            detector_metrics=result.detector_metrics,
+            probe_losses=result.probe_losses,
         )
 
 

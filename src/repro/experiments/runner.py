@@ -80,6 +80,16 @@ class ExperimentResult:
     #: ``wheel:auto``, the derived slot geometry — everything needed to
     #: reproduce the run's scheduling exactly from the summary alone.
     scheduler_info: Dict[str, Any] = field(default_factory=dict)
+    #: Aggregated counters of the configured :mod:`repro.detect` plane
+    #: (folded over all leaves; combiners nest a ``members`` list):
+    #: detections, false positives, flap suppressions and — when the run
+    #: carried a fault schedule — ``detection_ns`` measured from the
+    #: first applied fault.  Empty when ``config.detector`` is unset.
+    detector_metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Probe packets (Hermes probes, BFD heartbeats, breaker trials and
+    #: their replies) dropped in-fabric during the run — previously these
+    #: deaths were invisible.
+    probe_losses: int = 0
 
     @property
     def mean_fct_ms(self) -> float:
@@ -209,6 +219,13 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
                 "elephant_threshold_bytes",
                 max(1, int(1_000_000 * config.size_scale)),
             )
+    if config.detector is not None:
+        # The detection plane rides lb_params so the factory can wire it
+        # for any scheme; spec-DSL *default* timers scale with time_scale
+        # (explicit values are taken literally) so heartbeat and breaker
+        # windows keep their ratio to the scaled RTO floor.
+        lb_params.setdefault("detector", config.detector)
+        lb_params.setdefault("detector_time_scale", config.time_scale)
     shared = install_lb(fabric, config.lb, **lb_params)
     if checker is not None:
         from repro.validate import watch_leaf_states
@@ -363,6 +380,12 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         fault_timeline = fault_plane.timeline()
         detection_ns = _detection_latency_ns(fault_plane, shared)
         recovery_ns, unrecovered = _recovery_latency_ns(fault_plane, records)
+    detector_metrics: Dict[str, Any] = {}
+    if shared.get("detectors"):
+        detector_metrics = _fold_detector_metrics(
+            list(shared["detectors"].values()),
+            fault_plane.first_applied_ns() if fault_plane is not None else None,
+        )
 
     return ExperimentResult(
         config=config,
@@ -388,6 +411,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         recovery_ns=recovery_ns,
         unrecovered_timeouts=unrecovered,
         scheduler_info=scheduler_info,
+        detector_metrics=detector_metrics,
+        probe_losses=fabric.probe_drops,
     )
 
 
@@ -401,11 +426,53 @@ def _detection_latency_ns(
     if first_apply is None:
         return None
     detections: List[int] = []
+    # For zoo schemes the leaf_states ARE the configured detectors (the
+    # factory substituted them), so scanning both maps double-counts a
+    # few times — harmless under min().  For schemes without health
+    # tables (ECMP + a BFD detector, say) only the second map has them.
     for state in shared.get("leaf_states", {}).values():
         times = getattr(state, "detection_times", None)
         if times:
             detections.extend(t for t in times if t >= first_apply)
+    for det in shared.get("detectors", {}).values():
+        detections.extend(t for t in det.detection_times if t >= first_apply)
     return min(detections) - first_apply if detections else None
+
+
+def _fold_detector_metrics(
+    detectors: List[Any], first_apply: Optional[int]
+) -> Dict[str, Any]:
+    """Fold per-leaf detector counters into one run-level block.
+
+    Combiners recurse member-wise (member ``i`` of every leaf folds into
+    one nested block), so a quorum's frontier point and each layer's
+    contribution are both readable from the summary."""
+    out: Dict[str, Any] = {
+        "detector": detectors[0].name,
+        "detections": 0,
+        "false_positive_count": 0,
+        "flap_suppressions": 0,
+        "detection_ns": None,
+    }
+    times: List[int] = []
+    for det in detectors:
+        out["detections"] += len(det.detection_times)
+        out["false_positive_count"] += int(det.false_positive_count)
+        out["flap_suppressions"] += int(det.flap_suppressions)
+        times.extend(det.detection_times)
+    if first_apply is not None:
+        hits = [t for t in times if t >= first_apply]
+        if hits:
+            out["detection_ns"] = min(hits) - first_apply
+    members = getattr(detectors[0], "members", None)
+    if members:
+        out["members"] = [
+            _fold_detector_metrics(
+                [det.members[i] for det in detectors], first_apply
+            )
+            for i in range(len(members))
+        ]
+    return out
 
 
 def _recovery_latency_ns(

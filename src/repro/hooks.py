@@ -157,6 +157,11 @@ class HookSet:
             if audit is not None and hasattr(state, "audit"):
                 state.audit = audit
         if audit is not None:
+            # Detectors (repro.detect) record verdict flips through the
+            # same audit; they never expose ``classify`` so the
+            # leaf-state loop above skips them by design.
+            for detector in shared.get("detectors", {}).values():
+                detector.audit = audit
             self._audit_shared = shared
 
     # ------------------------------------------------------------------ #
@@ -200,6 +205,10 @@ class HookSet:
                 for state in self._audit_shared.get("leaf_states", {}).values():
                     if hasattr(state, "audit"):
                         state.audit = None
+                for detector in self._audit_shared.get(
+                    "detectors", {}
+                ).values():
+                    detector.audit = None
                 self._audit_shared = None
             self._occupants["audit"] = None
         return self

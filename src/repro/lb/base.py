@@ -45,12 +45,33 @@ class LoadBalancer:
         self.topology = fabric.topology
         self.rng = rng
         self.reroutes = 0  # path changes of already-placed flows
+        #: Optional failure detector (see :mod:`repro.detect`), shared
+        #: per rack and bound by the factory when the experiment asks
+        #: for one.  ``None`` — the default — costs each hook one
+        #: ``is not None`` branch and nothing else.
+        self.detector = None
 
     # -------------------------- helpers ------------------------------- #
 
     def paths_to(self, dst_host: int) -> Tuple[int, ...]:
         """Alive path ids from this host's leaf to the destination's."""
         return self.topology.paths(self.host.leaf, self.topology.leaf_of(dst_host))
+
+    def live_paths(self, dst_leaf: int, paths: Tuple[int, ...]) -> Tuple[int, ...]:
+        """``paths`` minus detector-DOWN entries (full set when no
+        detector is configured, or when everything is down — a suspect
+        path still beats no path)."""
+        detector = self.detector
+        if detector is None:
+            return paths
+        return detector.alive(dst_leaf, paths)
+
+    def path_down(self, dst_leaf: int, path: int) -> bool:
+        """Whether the configured detector has condemned ``path``."""
+        detector = self.detector
+        return detector is not None and path >= 0 and detector.is_failed(
+            dst_leaf, path
+        )
 
     def _note_path(self, flow: "FlowBase", path: int) -> int:
         """Record a path decision, counting reroutes of established flows."""
@@ -72,16 +93,32 @@ class LoadBalancer:
         rtt_ns: int,
         is_retx: bool,
     ) -> None:
-        """Piggybacked congestion signals (ECN echo + RTT) for a path."""
+        """Piggybacked congestion signals (ECN echo + RTT) for a path.
+
+        The default implementations of the three transport hooks feed
+        the configured detector, so schemes that do not override them
+        (ECMP, Presto, DRB, LetFlow, DRILL, CONGA) supply passive
+        evidence for free; schemes that do override them feed the
+        detector themselves.
+        """
+        detector = self.detector
+        if detector is not None and path_id >= 0:
+            detector.note_ok(self.topology.leaf_of(flow.dst), path_id)
 
     def on_path_feedback(self, flow: "FlowBase", path_id: int, metric: int) -> None:
         """CONGA-style utilization metric echoed by the far end."""
 
     def on_timeout(self, flow: "FlowBase", path_id: int) -> None:
         """The flow's RTO fired while pinned to ``path_id``."""
+        detector = self.detector
+        if detector is not None and path_id >= 0:
+            detector.note_timeout(self.topology.leaf_of(flow.dst), path_id)
 
     def on_retransmit(self, flow: "FlowBase", path_id: int) -> None:
         """The flow retransmitted a segment on ``path_id``."""
+        detector = self.detector
+        if detector is not None and path_id >= 0:
+            detector.note_retransmit(self.topology.leaf_of(flow.dst), path_id)
 
     def on_flow_done(self, flow: "FlowBase") -> None:
         """The flow completed; drop any per-flow state."""

@@ -54,7 +54,16 @@ class CloveEcnLB(LoadBalancer):
             self._weights[dst_leaf] = weights
         return weights
 
-    def _weighted_pick(self, weights: Dict[int, float]) -> int:
+    def _weighted_pick(self, dst_leaf: int, weights: Dict[int, float]) -> int:
+        detector = self.detector
+        if detector is not None:
+            live = {
+                p: w
+                for p, w in weights.items()
+                if not detector.is_failed(dst_leaf, p)
+            }
+            if live:
+                weights = live
         total = sum(weights.values())
         mark = self.rng.random() * total
         acc = 0.0
@@ -67,10 +76,16 @@ class CloveEcnLB(LoadBalancer):
     def select_path(self, flow: "FlowBase", wire_bytes: int) -> int:
         now = self.fabric.sim.now
         path = self._paths.get(flow.flow_id)
-        if path is None or now - flow.last_tx_time > self.flowlet_timeout_ns:
-            path = self._weighted_pick(
-                self._weights_for(self.topology.leaf_of(flow.dst))
+        if (
+            path is None
+            or now - flow.last_tx_time > self.flowlet_timeout_ns
+            or (
+                self.detector is not None
+                and self.path_down(self.topology.leaf_of(flow.dst), path)
             )
+        ):
+            dst_leaf = self.topology.leaf_of(flow.dst)
+            path = self._weighted_pick(dst_leaf, self._weights_for(dst_leaf))
             self._paths[flow.flow_id] = path
             self.flowlets += 1
             return self._note_path(flow, path)
@@ -78,6 +93,9 @@ class CloveEcnLB(LoadBalancer):
 
     def on_ack(self, flow: "FlowBase", path_id: int, ece: bool, rtt_ns: int,
                is_retx: bool) -> None:
+        detector = self.detector
+        if detector is not None and path_id >= 0:
+            detector.note_ok(self.topology.leaf_of(flow.dst), path_id)
         if not ece or path_id < 0:
             return
         weights = self._weights_for(self.topology.leaf_of(flow.dst))

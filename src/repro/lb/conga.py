@@ -85,7 +85,9 @@ class CongaLB(LoadBalancer):
         return local_metric if local_metric > remote else remote
 
     def _best_path(self, dst_leaf: int, now: int) -> int:
-        paths = self.topology.paths(self.host.leaf, dst_leaf)
+        paths = self.live_paths(
+            dst_leaf, self.topology.paths(self.host.leaf, dst_leaf)
+        )
         best: List[int] = []
         best_metric = 10**9
         for p in paths:
@@ -100,7 +102,14 @@ class CongaLB(LoadBalancer):
     def select_path(self, flow: "FlowBase", wire_bytes: int) -> int:
         now = self.fabric.sim.now
         path = self._paths.get(flow.flow_id)
-        if path is None or now - flow.last_tx_time > self.flowlet_timeout_ns:
+        if (
+            path is None
+            or now - flow.last_tx_time > self.flowlet_timeout_ns
+            or (
+                self.detector is not None
+                and self.path_down(self.topology.leaf_of(flow.dst), path)
+            )
+        ):
             path = self._best_path(self.topology.leaf_of(flow.dst), now)
             self._paths[flow.flow_id] = path
             self.flowlets += 1

@@ -32,7 +32,7 @@ class DrillLB(LoadBalancer):
 
     def select_path(self, flow: "FlowBase", wire_bytes: int) -> int:
         dst_leaf = self.topology.leaf_of(flow.dst)
-        paths = self.topology.paths(self.host.leaf, dst_leaf)
+        paths = self.live_paths(dst_leaf, self.topology.paths(self.host.leaf, dst_leaf))
         k = min(self.samples, len(paths))
         candidates = set(self.rng.sample(paths, k))
         previous_best = self._best.get(dst_leaf)

@@ -23,10 +23,19 @@ class EcmpLB(LoadBalancer):
     granularity = "flow"
 
     def select_path(self, flow: "FlowBase", wire_bytes: int) -> int:
-        if flow.current_path >= 0:
+        if flow.current_path >= 0 and (
+            self.detector is None
+            or not self.path_down(
+                self.topology.leaf_of(flow.dst), flow.current_path
+            )
+        ):
             return flow.current_path
-        paths = self.paths_to(flow.dst)
+        # Stickiness is broken only by a detector verdict: the flow
+        # re-hashes over the still-live paths (pure ECMP, with no
+        # detector, never reaches this with an established path).
+        dst_leaf = self.topology.leaf_of(flow.dst)
+        paths = self.live_paths(dst_leaf, self.paths_to(flow.dst))
         digest = zlib.crc32(
             f"{flow.flow_id}:{flow.src}:{flow.dst}".encode("ascii")
         )
-        return paths[digest % len(paths)]
+        return self._note_path(flow, paths[digest % len(paths)])

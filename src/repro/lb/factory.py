@@ -57,7 +57,7 @@ def _install_hermes(fabric: Fabric, **params: Any) -> Dict[str, Any]:
     # and a module-level import here would close that cycle.
     from repro.core.hermes import HermesLB
     from repro.core.parameters import HermesParams
-    from repro.core.probing import HermesProber
+    from repro.core.probing import HermesProber, install_probe_loss_accounting
     from repro.core.sensing import HermesLeafState
 
     hermes_params: HermesParams = params.pop("params", HermesParams())
@@ -73,6 +73,7 @@ def _install_hermes(fabric: Fabric, **params: Any) -> Dict[str, Any]:
         )
         prober.start()
         probers[leaf] = prober
+    install_probe_loss_accounting(fabric, probers)
     for host in fabric.hosts:
         host.lb = HermesLB(
             host,
@@ -140,18 +141,60 @@ def spraying_schemes() -> Tuple[str, ...]:
     return SPRAYING_SCHEMES
 
 
+#: Schemes whose agents consume a per-leaf health table directly; a
+#: configured detector *replaces* that table (drop-in superset) instead
+#: of riding alongside it.
+_HEALTH_TABLE_SCHEMES: Tuple[str, ...] = ("reps", "diffflow", "rdna")
+
+
 def install_lb(fabric: Fabric, name: str, **params: Any) -> Dict[str, Any]:
     """Install scheme ``name`` on every host of ``fabric``.
 
     Returns the scheme's shared state (empty for stateless schemes) so
     harnesses can inspect probers, tables, detection counters, etc.
+
+    ``detector`` (a :mod:`repro.detect` spec string or parsed spec) and
+    ``detector_time_scale`` are understood for every scheme: the factory
+    builds one detector per leaf, binds it to each agent's ``detector``
+    slot, substitutes it for the zoo's health tables, publishes the map
+    as ``shared["detectors"]`` and starts active detectors last — after
+    any scheme machinery (the Hermes prober) has claimed its probe sink,
+    so reply demultiplexing chains instead of clobbering.
     """
     try:
         installer = LB_REGISTRY[name]
     except KeyError:
         known = ", ".join(sorted(LB_REGISTRY))
         raise ValueError(f"unknown load balancer {name!r}; known: {known}") from None
-    return installer(fabric, **params)
+    detector_spec = params.pop("detector", None)
+    detector_time_scale = params.pop("detector_time_scale", 1.0)
+    if detector_spec is None:
+        return installer(fabric, **params)
+    # Imported lazily: repro.detect pulls in implementation modules that
+    # themselves import from repro.lb.
+    from repro.detect import build_leaf_detectors
+
+    detectors = None
+    if name in _HEALTH_TABLE_SCHEMES:
+        detectors = build_leaf_detectors(
+            fabric, detector_spec, time_scale=detector_time_scale
+        )
+        params["leaf_health"] = detectors
+    shared = installer(fabric, **params)
+    if detectors is None:
+        # Built after the installer ran (see docstring: sink chaining).
+        detectors = build_leaf_detectors(
+            fabric, detector_spec, time_scale=detector_time_scale
+        )
+    for host in fabric.hosts:
+        agent = host.lb
+        if agent is not None:
+            agent.detector = detectors[host.leaf]
+    shared = dict(shared)
+    shared["detectors"] = detectors
+    for det in detectors.values():
+        det.start()
+    return shared
 
 
 def make_lb(fabric: Fabric, name: str, host_id: int, **params: Any) -> LoadBalancer:

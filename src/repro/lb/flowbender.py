@@ -44,13 +44,25 @@ class FlowBenderLB(LoadBalancer):
     def select_path(self, flow: "FlowBase", wire_bytes: int) -> int:
         state = self._state.get(flow.flow_id)
         if state is None:
-            path = self.rng.choice(self.paths_to(flow.dst))
+            dst_leaf = self.topology.leaf_of(flow.dst)
+            path = self.rng.choice(
+                self.live_paths(dst_leaf, self.paths_to(flow.dst))
+            )
             self._state[flow.flow_id] = [path, self.fabric.sim.now, 0, 0]
             return self._note_path(flow, path)
+        if self.detector is not None and self.path_down(
+            self.topology.leaf_of(flow.dst), state[0]
+        ):
+            self._bounce(flow, state)
         return state[0]
 
     def _bounce(self, flow: "FlowBase", state: List[int]) -> None:
-        paths = [p for p in self.paths_to(flow.dst) if p != state[0]]
+        dst_leaf = self.topology.leaf_of(flow.dst)
+        paths = [
+            p
+            for p in self.live_paths(dst_leaf, self.paths_to(flow.dst))
+            if p != state[0]
+        ]
         if paths:
             state[0] = self.rng.choice(paths)
             self.reroutes += 1
@@ -60,6 +72,9 @@ class FlowBenderLB(LoadBalancer):
 
     def on_ack(self, flow: "FlowBase", path_id: int, ece: bool, rtt_ns: int,
                is_retx: bool) -> None:
+        detector = self.detector
+        if detector is not None and path_id >= 0:
+            detector.note_ok(self.topology.leaf_of(flow.dst), path_id)
         state = self._state.get(flow.flow_id)
         if state is None:
             return
@@ -76,6 +91,9 @@ class FlowBenderLB(LoadBalancer):
                 state[3] = 0
 
     def on_timeout(self, flow: "FlowBase", path_id: int) -> None:
+        detector = self.detector
+        if detector is not None and path_id >= 0:
+            detector.note_timeout(self.topology.leaf_of(flow.dst), path_id)
         state = self._state.get(flow.flow_id)
         if state is not None:
             self._bounce(flow, state)

@@ -36,8 +36,18 @@ class LetFlowLB(LoadBalancer):
     def select_path(self, flow: "FlowBase", wire_bytes: int) -> int:
         now = self.fabric.sim.now
         path = self._paths.get(flow.flow_id)
-        if path is None or now - flow.last_tx_time > self.flowlet_timeout_ns:
-            path = self.rng.choice(self.paths_to(flow.dst))
+        if (
+            path is None
+            or now - flow.last_tx_time > self.flowlet_timeout_ns
+            or (
+                self.detector is not None
+                and self.path_down(self.topology.leaf_of(flow.dst), path)
+            )
+        ):
+            dst_leaf = self.topology.leaf_of(flow.dst)
+            path = self.rng.choice(
+                self.live_paths(dst_leaf, self.paths_to(flow.dst))
+            )
             self._paths[flow.flow_id] = path
             self.flowlets += 1
             return self._note_path(flow, path)

@@ -72,10 +72,26 @@ class PrestoLB(LoadBalancer):
         dst_leaf = self.topology.leaf_of(flow.dst)
         cycle = self._cycle_for(dst_leaf)
         cell = self._cell.get(flow.flow_id)
+        detector = self.detector
+        if cell is not None and cell[0] > 0 and detector is not None:
+            # A condemned path ends the cell early; the flow falls
+            # through to pick a fresh one from the cycle.
+            if detector.is_failed(dst_leaf, cell[1]):
+                cell = None
         if cell is None or cell[0] <= 0:
             cursor = self._cursor[dst_leaf]
             path = cycle[cursor]
-            self._cursor[dst_leaf] = (cursor + 1) % len(cycle)
+            cursor = (cursor + 1) % len(cycle)
+            if detector is not None and detector.is_failed(dst_leaf, path):
+                # Advance past DOWN entries (at most one lap; if the
+                # whole cycle is condemned, keep the original pick).
+                for _ in range(len(cycle) - 1):
+                    candidate = cycle[cursor]
+                    cursor = (cursor + 1) % len(cycle)
+                    if not detector.is_failed(dst_leaf, candidate):
+                        path = candidate
+                        break
+            self._cursor[dst_leaf] = cursor
             self._cell[flow.flow_id] = [self.flowcell_bytes - wire_bytes, path]
             return self._note_path(flow, path)
         cell[0] -= wire_bytes

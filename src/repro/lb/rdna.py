@@ -200,22 +200,33 @@ def install_rdna(
     hold_ns: int = None,
     retx_threshold: int = None,
     retx_window_ns: int = None,
+    leaf_health=None,
     **params,
 ):
-    """Install RDNA Balance with one registry + health table per rack."""
-    health_kwargs = {
-        k: v
-        for k, v in (
-            ("hold_ns", hold_ns),
-            ("retx_threshold", retx_threshold),
-            ("retx_window_ns", retx_window_ns),
-        )
-        if v is not None
-    }
-    leaf_states = {
-        leaf: RdnaLeafState(LeafPathHealth(fabric, leaf, **health_kwargs))
-        for leaf in range(fabric.config.n_leaves)
-    }
+    """Install RDNA Balance with one registry + health table per rack.
+
+    ``leaf_health`` substitutes pre-built per-leaf health objects (a
+    configured :mod:`repro.detect` detector) for the built-in tables;
+    each still gets wrapped in the rack's :class:`RdnaLeafState`.
+    """
+    if leaf_health is not None:
+        leaf_states = {
+            leaf: RdnaLeafState(health) for leaf, health in leaf_health.items()
+        }
+    else:
+        health_kwargs = {
+            k: v
+            for k, v in (
+                ("hold_ns", hold_ns),
+                ("retx_threshold", retx_threshold),
+                ("retx_window_ns", retx_window_ns),
+            )
+            if v is not None
+        }
+        leaf_states = {
+            leaf: RdnaLeafState(LeafPathHealth(fabric, leaf, **health_kwargs))
+            for leaf in range(fabric.config.n_leaves)
+        }
     for host in fabric.hosts:
         host.lb = RdnaBalanceLB(
             host,

@@ -127,22 +127,31 @@ def install_reps(
     hold_ns: int = None,
     retx_threshold: int = None,
     retx_window_ns: int = None,
+    leaf_health=None,
     **params,
 ):
-    """Install REPS on every host with one shared health table per rack."""
-    health_kwargs = {
-        k: v
-        for k, v in (
-            ("hold_ns", hold_ns),
-            ("retx_threshold", retx_threshold),
-            ("retx_window_ns", retx_window_ns),
-        )
-        if v is not None
-    }
-    leaf_states = {
-        leaf: LeafPathHealth(fabric, leaf, **health_kwargs)
-        for leaf in range(fabric.config.n_leaves)
-    }
+    """Install REPS on every host with one shared health table per rack.
+
+    ``leaf_health`` replaces the built-in tables with pre-built per-leaf
+    health objects — how the factory substitutes a configured
+    :mod:`repro.detect` detector (a drop-in ``LeafPathHealth`` superset).
+    """
+    if leaf_health is not None:
+        leaf_states = leaf_health
+    else:
+        health_kwargs = {
+            k: v
+            for k, v in (
+                ("hold_ns", hold_ns),
+                ("retx_threshold", retx_threshold),
+                ("retx_window_ns", retx_window_ns),
+            )
+            if v is not None
+        }
+        leaf_states = {
+            leaf: LeafPathHealth(fabric, leaf, **health_kwargs)
+            for leaf in range(fabric.config.n_leaves)
+        }
     for host in fabric.hosts:
         host.lb = RepsLB(
             host,

@@ -12,13 +12,17 @@ from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.hooks import HookSet
 from repro.net.host import Host
-from repro.net.packet import Packet, PacketPool
+from repro.net.packet import Packet, PacketKind, PacketPool
 from repro.net.topology import LeafSpineTopology, TopologyConfig
 from repro.sim.engine import Simulator, _HOOK_DEPRECATION
 from repro.sim.rng import RngStreams
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.transport.base import FlowBase
+
+#: Probe-plane packet kinds, as a tuple for the drop-branch membership
+#: test (drops are rare; this is off the per-packet hot path).
+_PROBE_KINDS = (PacketKind.PROBE, PacketKind.PROBE_REPLY)
 
 
 class Fabric:
@@ -71,6 +75,15 @@ class Fabric:
         #: Finished flows waiting for their last in-network packet to
         #: drain before they can leave :attr:`flows`.
         self._evict_on_quiesce: set = set()
+        #: PROBE/PROBE_REPLY packets that died anywhere in the fabric —
+        #: admin-down links, injected drops, full buffers.  A heartbeat
+        #: dying on a dead link *is* the detection signal, so these
+        #: deaths must be countable rather than vanishing silently.
+        self.probe_drops = 0
+        #: Optional callback invoked with each dropped probe packet
+        #: while it is still live (before pool release) — the Hermes
+        #: prober and detector planes attribute losses per consumer.
+        self.probe_drop_sink: Optional[Callable[[Packet], None]] = None
         #: The unified attach/detach surface for all observability hooks
         #: (checker / tracer / audit / profiler) — see :mod:`repro.hooks`.
         self.hooks = HookSet(self)
@@ -176,6 +189,15 @@ class Fabric:
     # Packet plumbing
     # ------------------------------------------------------------------ #
 
+    def _probe_dropped(self, packet: Packet) -> None:
+        """A PROBE/PROBE_REPLY died in-fabric: count it and let whoever
+        owns the probe attribute the loss (the packet is still live —
+        callers release it to the pool only afterwards)."""
+        self.probe_drops += 1
+        sink = self.probe_drop_sink
+        if sink is not None:
+            sink(packet)
+
     def send(self, packet: Packet) -> bool:
         """Inject a packet at its source host over ``packet.path_id``.
 
@@ -188,6 +210,8 @@ class Fabric:
         if self._fast:
             accepted = packet.route[0].enqueue(packet)
             if not accepted:
+                if packet.kind in _PROBE_KINDS:
+                    self._probe_dropped(packet)
                 self.packet_pool.release(packet)
             elif self._inflight is not None:
                 self._packet_born(packet.flow_id)
@@ -195,6 +219,8 @@ class Fabric:
         if self._checker is not None:
             self._checker.on_send(packet)
         accepted = packet.route[0].enqueue(packet)
+        if not accepted and packet.kind in _PROBE_KINDS:
+            self._probe_dropped(packet)
         if accepted and self._inflight is not None:
             self._packet_born(packet.flow_id)
         if self._tracer is not None:
@@ -214,6 +240,8 @@ class Fabric:
             if hop < len(packet.route):
                 if not packet.route[hop].enqueue(packet):
                     flow_id = packet.flow_id
+                    if packet.kind in _PROBE_KINDS:
+                        self._probe_dropped(packet)
                     self.packet_pool.release(packet)
                     if self._inflight is not None:
                         self._packet_died(flow_id)
@@ -231,11 +259,11 @@ class Fabric:
             self._tracer.on_forward(packet)
         packet.hop += 1
         if packet.hop < len(packet.route):
-            if (
-                not packet.route[packet.hop].enqueue(packet)
-                and self._inflight is not None
-            ):
-                self._packet_died(packet.flow_id)
+            if not packet.route[packet.hop].enqueue(packet):
+                if packet.kind in _PROBE_KINDS:
+                    self._probe_dropped(packet)
+                if self._inflight is not None:
+                    self._packet_died(packet.flow_id)
         else:
             if self._checker is not None:
                 self._checker.on_deliver(packet)

@@ -52,6 +52,7 @@ REC_DECISION = "decision"
 REC_PATH_CLASS = "path_class"
 REC_FAILURE = "failure"
 REC_FAULT = "fault"
+REC_VERDICT = "verdict"
 
 _CLASS_NAMES = {0: "good", 1: "gray", 2: "congested", 3: "failed"}
 
@@ -227,6 +228,43 @@ class DecisionAudit:
         )
 
     # ------------------------------------------------------------------ #
+    # Detector hook (called from repro.detect on every verdict flip)
+    # ------------------------------------------------------------------ #
+
+    def on_verdict(
+        self,
+        detector: Any,
+        dst_leaf: int,
+        path: int,
+        old: int,
+        new: int,
+        cause: str,
+        detail: str = "",
+    ) -> None:
+        """A detector changed its verdict for (dst_leaf, path).  The
+        record's reason reads ``up->down (bfd-timeout)`` — the cause a
+        post-mortem needs next to the fault record that provoked it."""
+        from repro.detect.base import VERDICT_NAMES
+
+        self._append(
+            AuditRecord(
+                self.sim.now,
+                REC_VERDICT,
+                leaf=getattr(detector, "leaf", -1),
+                dst_leaf=dst_leaf,
+                path=path,
+                reason=(
+                    f"{VERDICT_NAMES.get(old, '?')}->"
+                    f"{VERDICT_NAMES.get(new, '?')} ({cause})"
+                ),
+                detail={
+                    "detector": getattr(detector, "name", "?"),
+                    **({"note": detail} if detail else {}),
+                },
+            )
+        )
+
+    # ------------------------------------------------------------------ #
     # Fault-plane hook (called from repro.faults.plane.FaultSchedule)
     # ------------------------------------------------------------------ #
 
@@ -267,16 +305,16 @@ class DecisionAudit:
     def path_events(
         self, dst_leaf: Optional[int] = None, path: Optional[int] = None
     ) -> List[AuditRecord]:
-        """Path-state transitions, failure overlays and scheduled fault
-        transitions, optionally filtered to one (destination leaf, path).
-        Fault records carry no (dst_leaf, path) and always pass a
-        filter — they are the network-level cause of whatever sensed
-        transitions surround them."""
+        """Path-state transitions, failure overlays, detector verdict
+        flips and scheduled fault transitions, optionally filtered to one
+        (destination leaf, path).  Fault records carry no (dst_leaf,
+        path) and always pass a filter — they are the network-level cause
+        of whatever sensed transitions surround them."""
         return [
             r
             for r in self._ring
             if (
-                r.category in (REC_PATH_CLASS, REC_FAILURE)
+                r.category in (REC_PATH_CLASS, REC_FAILURE, REC_VERDICT)
                 and (dst_leaf is None or r.dst_leaf == dst_leaf)
                 and (path is None or r.path == path)
             )

@@ -164,6 +164,41 @@ def _draw_fault_schedule(
     )
 
 
+def _draw_detector(rng: random.Random) -> str:
+    """Draw one randomized detector spec fitting the chaos envelope.
+
+    Explicit timer values are spelled out (in the 0.03x-scaled regime:
+    tens of microseconds) about half the time; the other half relies on
+    the spec DSL's time-scaled defaults, so both paths get fuzzed."""
+    kind = rng.choice(("transport", "bfd", "breaker", "quorum", "fastest"))
+    if kind == "transport":
+        if rng.random() < 0.5:
+            return "transport"
+        return (
+            f"transport:hold={rng.randrange(200_000, 3_000_000)},"
+            f"retx_threshold={rng.randint(2, 12)}"
+        )
+    if kind == "bfd":
+        if rng.random() < 0.5:
+            return "bfd"
+        return (
+            f"bfd:tx={rng.randrange(5_000, 50_000)},"
+            f"mult={rng.randint(2, 5)}"
+        )
+    if kind == "breaker":
+        if rng.random() < 0.5:
+            return "breaker"
+        return (
+            f"breaker:threshold={rng.choice((0.3, 0.5, 0.8))},"
+            f"min_volume={rng.randint(2, 8)},"
+            f"open={rng.randrange(300_000, 3_000_000)}"
+        )
+    members = "transport+bfd" if rng.random() < 0.7 else "transport+bfd+breaker"
+    if kind == "quorum":
+        return f"quorum:{members}"
+    return f"fastest:{members}"
+
+
 def chaos_config(seed: int, with_faults: Optional[bool] = None) -> ExperimentConfig:
     """Deterministically expand ``seed`` into one randomized scenario.
 
@@ -238,6 +273,14 @@ def chaos_config(seed: int, with_faults: Optional[bool] = None) -> ExperimentCon
             n_leaves, n_spines, overrides,
         )
 
+    # Detector coin drawn after the faults coin (appending to the main
+    # stream keeps every pre-existing seed's scenario unchanged); params
+    # come from their own named stream so the shape of one draw cannot
+    # perturb the next field.
+    detector: Optional[str] = None
+    if rng.random() < 0.35:
+        detector = _draw_detector(random.Random(f"repro-chaos-detector-{seed}"))
+
     return ExperimentConfig(
         topology=topology,
         lb=lb,
@@ -251,6 +294,7 @@ def chaos_config(seed: int, with_faults: Optional[bool] = None) -> ExperimentCon
         reorder_mask_us=100.0 if lb in SPRAYING_SCHEMES else None,
         failure=failure,
         faults=faults,
+        detector=detector,
         extra_drain_ns=_EXTRA_DRAIN_NS,
         validate=True,
     )
@@ -362,6 +406,8 @@ def _reductions(config: ExperimentConfig) -> Iterator[ExperimentConfig]:
     topo = config.topology
     if config.faults is not None:
         yield replace(config, faults=None)
+    if config.detector is not None:
+        yield replace(config, detector=None)
     if config.failure is not None:
         yield replace(config, failure=None)
     if config.n_flows > 2:
