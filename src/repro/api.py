@@ -26,6 +26,11 @@ The surface:
 * topology builders (:func:`bench_topology`, :func:`testbed_topology`,
   :func:`simulation_topology`, :func:`asymmetric_overrides`) matching
   the paper's setups;
+* declarative topology specs (:class:`TopologySpec`,
+  :class:`LeafSpineSpec`, :class:`ClosSpec`, :func:`spec_from_dict`,
+  :func:`as_topology_spec`) — shape descriptions a :class:`Fabric`
+  builds from and the sharded runner partitions
+  (``ExperimentConfig(shards=N)`` / :func:`run_sharded`);
 * :func:`serve` / :class:`ExperimentService` / :class:`ServiceClient` —
   the always-on experiment service (bounded job queue, crash-tolerant
   worker pool, HTTP JSON API + SSE; see :mod:`repro.serve`);
@@ -54,8 +59,8 @@ from repro.experiments.parallel import (
     ResultSummary,
     grid_configs,
     grid_results,
-    run_cells,
 )
+from repro.experiments.parallel import run_cells as _run_cells
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.experiments.scenarios import (
     asymmetric_overrides,
@@ -77,6 +82,13 @@ from repro.lb.factory import (
 from repro.metrics.fct import FctStats, FlowRecord
 from repro.metrics.streaming import STREAMING_AUTO_FLOWS, StreamingFctStats
 from repro.net.fabric import Fabric
+from repro.net.spec import (
+    ClosSpec,
+    LeafSpineSpec,
+    TopologySpec,
+    as_topology_spec,
+    spec_from_dict,
+)
 from repro.serve import (
     BackpressureError,
     ExperimentService,
@@ -92,6 +104,7 @@ from repro.sim.engine import (
     WheelSimulator,
     make_simulator,
 )
+from repro.shard import run_sharded
 from repro.sim.rng import RngStreams
 from repro.telemetry.series import QueueSampler
 from repro.transport.dctcp import DctcpFlow
@@ -103,6 +116,11 @@ __all__ = [
     "ExperimentResult",
     "ResultSummary",
     "TopologyConfig",
+    "TopologySpec",
+    "LeafSpineSpec",
+    "ClosSpec",
+    "spec_from_dict",
+    "as_topology_spec",
     "FailureSpec",
     "FaultScheduleSpec",
     "FaultEventSpec",
@@ -118,6 +136,7 @@ __all__ = [
     "QueueFull",
     "BackpressureError",
     "run_experiment",
+    "run_sharded",
     "run_grid",
     "save_result",
     "load_result",
@@ -173,7 +192,9 @@ def run_grid(
         use_cache: override the ``REPRO_CACHE`` switch.
         cache_dir: override the cache location (``REPRO_CACHE_DIR``).
     """
-    return run_cells(configs, jobs=jobs, use_cache=use_cache, cache_dir=cache_dir)
+    return _run_cells(
+        configs, jobs=jobs, use_cache=use_cache, cache_dir=cache_dir
+    )
 
 
 #: save_result file format version (bumped on incompatible change).

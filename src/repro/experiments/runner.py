@@ -140,44 +140,14 @@ def _flow_record(f) -> FlowRecord:
     )
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Run one configured experiment to completion.
+def _resolved_lb_params(config: ExperimentConfig) -> Dict[str, Any]:
+    """The scheme parameters ``install_lb`` receives for this config —
+    ``config.lb_params`` plus the scale-derived defaults.
 
-    The run ends when every flow finished or ``extra_drain_ns`` elapsed
-    past the last arrival, whichever comes first; flows still active then
-    are reported as unfinished.
+    Shared by the in-process runner and every shard worker: both must
+    install byte-for-byte identical scheme state, so the scaling policy
+    lives in exactly one place.
     """
-    # REPRO_SCHEDULER overrides the config, the same way REPRO_VALIDATE/
-    # REPRO_TRACE override their flags.  ``wheel:auto`` derives its slot
-    # geometry from the topology + time scale (pure function — the same
-    # config always builds the same wheel).
-    scheduler_name = resolve_scheduler(config.scheduler)
-    scheduler_info: Dict[str, Any] = {"name": scheduler_name}
-    if scheduler_name == "wheel:auto":
-        geometry = wheel_geometry_for(config.topology, config.time_scale)
-        scheduler_info["geometry"] = geometry.to_dict()
-        sim = make_simulator(
-            scheduler_name,
-            slot_ns_bits=geometry.slot_ns_bits,
-            num_slot_bits=geometry.num_slot_bits,
-        )
-    else:
-        sim = make_simulator(scheduler_name)
-    rng = RngStreams(config.seed)
-    fabric = Fabric(sim, config.topology, rng)
-    checker = None
-    if config.validate or validate_forced():
-        # Imported lazily: the validate package is pure overhead for the
-        # (default) unvalidated path and must never burden it.
-        from repro.validate import install_checker
-
-        checker = install_checker(fabric, config=config)
-    telemetry = None
-    if config.trace or trace_forced():
-        # Lazy import for the same reason as the validate layer.
-        from repro.telemetry import install_telemetry
-
-        telemetry = install_telemetry(fabric, config=config)
     lb_params = dict(config.lb_params)
     if config.lb == "hermes" and "params" not in lb_params:
         # Flow sizes are scaled down for CPython speed, so the S gate
@@ -226,7 +196,92 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         # windows keep their ratio to the scaled RTO floor.
         lb_params.setdefault("detector", config.detector)
         lb_params.setdefault("detector_time_scale", config.time_scale)
-    shared = install_lb(fabric, config.lb, **lb_params)
+    return lb_params
+
+
+def _flow_kwargs(config: ExperimentConfig) -> Dict[str, Any]:
+    """Constructor kwargs for every flow of this config (shared with the
+    shard workers, same single-source-of-truth policy as
+    :func:`_resolved_lb_params`)."""
+    kwargs: Dict[str, Any] = {
+        "dupthresh": config.dupthresh,
+        "max_cwnd": config.max_cwnd,
+        "min_rto_ns": max(1, int(10_000_000 * config.time_scale)),
+    }
+    if config.reorder_mask_us is not None:
+        kwargs["reorder_mask_ns"] = microseconds(config.reorder_mask_us)
+    return kwargs
+
+
+def _arrival_list(config: ExperimentConfig, rng: RngStreams):
+    """The config's deterministic flow-arrival schedule.
+
+    Every shard worker replays this identically (the "workload" stream is
+    derived from the seed alone), as does the coordinator when it needs
+    the drain deadline without building a fabric.
+    """
+    distribution = distribution_by_name(config.workload)
+    if config.size_scale != 1.0:
+        distribution = distribution.scaled(config.size_scale)
+    generator = FlowGenerator(
+        config.topology,
+        distribution,
+        config.load,
+        rng.get("workload"),
+        # A single-leaf fabric has no inter-rack pairs at all; fall back
+        # to intra-rack traffic instead of refusing to generate.
+        inter_rack_only=config.topology.n_leaves > 1,
+    )
+    return generator.arrival_list(config.n_flows)
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Run one configured experiment to completion.
+
+    The run ends when every flow finished or ``extra_drain_ns`` elapsed
+    past the last arrival, whichever comes first; flows still active then
+    are reported as unfinished.
+
+    ``config.shards > 1`` dispatches to the spatially partitioned runner
+    (:func:`repro.shard.run_sharded`), which produces bit-identical
+    records, event counts and clocks via conservative lookahead.
+    """
+    if config.shards > 1:
+        from repro.shard.runner import run_sharded
+
+        return run_sharded(config)
+    # REPRO_SCHEDULER overrides the config, the same way REPRO_VALIDATE/
+    # REPRO_TRACE override their flags.  ``wheel:auto`` derives its slot
+    # geometry from the topology + time scale (pure function — the same
+    # config always builds the same wheel).
+    scheduler_name = resolve_scheduler(config.scheduler)
+    scheduler_info: Dict[str, Any] = {"name": scheduler_name}
+    if scheduler_name == "wheel:auto":
+        geometry = wheel_geometry_for(config.topology, config.time_scale)
+        scheduler_info["geometry"] = geometry.to_dict()
+        sim = make_simulator(
+            scheduler_name,
+            slot_ns_bits=geometry.slot_ns_bits,
+            num_slot_bits=geometry.num_slot_bits,
+        )
+    else:
+        sim = make_simulator(scheduler_name)
+    rng = RngStreams(config.seed)
+    fabric = Fabric(sim, config.topology, rng)
+    checker = None
+    if config.validate or validate_forced():
+        # Imported lazily: the validate package is pure overhead for the
+        # (default) unvalidated path and must never burden it.
+        from repro.validate import install_checker
+
+        checker = install_checker(fabric, config=config)
+    telemetry = None
+    if config.trace or trace_forced():
+        # Lazy import for the same reason as the validate layer.
+        from repro.telemetry import install_telemetry
+
+        telemetry = install_telemetry(fabric, config=config)
+    shared = install_lb(fabric, config.lb, **_resolved_lb_params(config))
     if checker is not None:
         from repro.validate import watch_leaf_states
 
@@ -246,26 +301,14 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             audit=telemetry.audit if telemetry is not None else None,
         ).install()
 
-    distribution = distribution_by_name(config.workload)
-    if config.size_scale != 1.0:
-        distribution = distribution.scaled(config.size_scale)
-    generator = FlowGenerator(
-        config.topology, distribution, config.load, rng.get("workload")
-    )
-    arrivals = generator.arrival_list(config.n_flows)
+    arrivals = _arrival_list(config, rng)
 
     sampler: Optional[VisibilitySampler] = None
     if config.visibility_sampling:
         sampler = VisibilitySampler(fabric)
         sampler.start()
 
-    flow_kwargs: Dict[str, Any] = {
-        "dupthresh": config.dupthresh,
-        "max_cwnd": config.max_cwnd,
-        "min_rto_ns": max(1, int(10_000_000 * config.time_scale)),
-    }
-    if config.reorder_mask_us is not None:
-        flow_kwargs["reorder_mask_ns"] = microseconds(config.reorder_mask_us)
+    flow_kwargs = _flow_kwargs(config)
     flow_cls = DctcpFlow if config.transport == "dctcp" else TcpFlow
 
     small_b = int(SMALL_FLOW_BYTES * config.size_scale)

@@ -16,8 +16,10 @@ replaces that with a single fabric-bound surface::
 Attach refuses to overwrite an occupied slot (``InstallError``-free:
 plain ``RuntimeError``, checked for *all* requested slots before any
 wiring happens, so a failed attach changes nothing).  The legacy
-attributes survive as read-only-ish properties whose setters emit a
-``DeprecationWarning`` (promoted to an error in CI).
+attributes survive only as **read-only** properties; assigning them
+(``fabric.checker = ...``, ``sim.profiler = ...``, ``port.tracer =
+...``) is a hard ``AttributeError`` pointing here — the deprecation
+grace period ended with the sharded-runner API redesign.
 """
 
 from __future__ import annotations

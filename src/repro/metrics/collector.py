@@ -1,25 +1,16 @@
-"""Time-series collectors — deprecated compatibility re-exports.
+"""Removed module — the samplers live in :mod:`repro.telemetry.series`.
 
-The samplers moved to :mod:`repro.telemetry.series`, where they share the
-cancellable-tick :class:`~repro.telemetry.series.PeriodicSampler` base
-(the old ``QueueSampler.stop()`` left its pending tick in the heap; the
-migrated one cancels it).  This module keeps the historical import path
-alive but warns: import from ``repro.telemetry.series`` instead.  Every
-in-repo caller has been migrated; the path survives one more release for
-external scripts, then goes away.
+``repro.metrics.collector`` was a deprecated compatibility shim from the
+PR-6 telemetry migration (``QueueSampler`` / ``UtilizationTracker``
+re-exports with a ``DeprecationWarning``).  The grace release has passed:
+importing this module is now a hard error so stale external scripts fail
+loudly at import time instead of silently depending on a layer that no
+longer exists.
 """
 
 from __future__ import annotations
 
-import warnings
-
-from repro.telemetry.series import QueueSampler, UtilizationTracker
-
-__all__ = ["QueueSampler", "UtilizationTracker"]
-
-warnings.warn(
-    "repro.metrics.collector is deprecated; import QueueSampler and "
-    "UtilizationTracker from repro.telemetry.series instead",
-    DeprecationWarning,
-    stacklevel=2,
+raise ImportError(
+    "repro.metrics.collector was removed; import QueueSampler and "
+    "UtilizationTracker from repro.telemetry.series instead"
 )

@@ -1,0 +1,218 @@
+"""Three-tier pod-based Clos topology (built from :class:`ClosSpec`).
+
+Wiring (see :class:`repro.net.spec.ClosSpec` for the path-id scheme):
+
+* ``host_up[h]`` / ``leaf_down[h]`` — edge links, exactly as leaf–spine;
+* ``leaf_up[g][a]`` — leaf ``g`` (global index) → aggregation ``a`` of
+  its pod;
+* ``agg_down[p][a][l]`` — aggregation ``a`` of pod ``p`` → leaf ``l``
+  (pod-local index);
+* ``agg_up[p][a][c]`` — aggregation ``a`` of pod ``p`` → core ``c``;
+* ``core_down[c][p][a]`` — core ``c`` → aggregation ``a`` of pod ``p``.
+
+The routing surface matches :class:`~repro.net.topology.LeafSpineTopology`
+(``leaf_of`` / ``paths`` / ``route`` / ``uplink_ports`` / ``all_ports``),
+so transports — and schemes that only consume that surface — run
+unchanged on either fabric.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.net.port import OutputPort
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.packet import Packet
+    from repro.net.spec import ClosSpec
+
+GBPS = 1e9
+
+
+class ClosTopology:
+    """The wired three-tier fabric: ports, path enumeration, routes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: "ClosSpec",
+        forward: Callable[["Packet"], None],
+    ) -> None:
+        self.sim = sim
+        self.config = spec
+        self.spec = spec
+
+        def port(name: str, rate_gbps: float) -> OutputPort:
+            # Same DCTCP guideline as leaf–spine: K ∝ C.
+            ecn_k = max(15_000, int(spec.ecn_threshold_bytes * rate_gbps / 10.0))
+            return OutputPort(
+                sim,
+                name,
+                rate_gbps * GBPS,
+                spec.prop_delay_ns,
+                spec.buffer_bytes,
+                ecn_k,
+                forward=forward,
+                dre_tau_ns=spec.dre_tau_ns,
+            )
+
+        P, L, A, C = spec.pods, spec.leaves_per_pod, spec.aggs_per_pod, spec.n_cores
+        self.host_up: List[OutputPort] = [
+            port(f"host{h}->leaf{self.leaf_of(h)}", spec.host_link_gbps)
+            for h in range(spec.n_hosts)
+        ]
+        self.leaf_down: List[OutputPort] = [
+            port(f"leaf{self.leaf_of(h)}->host{h}", spec.host_link_gbps)
+            for h in range(spec.n_hosts)
+        ]
+        self.leaf_up: List[List[OutputPort]] = [
+            [
+                port(f"leaf{g}->agg{g // L}.{a}", spec.fabric_link_gbps)
+                for a in range(A)
+            ]
+            for g in range(spec.n_leaves)
+        ]
+        self.agg_down: List[List[List[OutputPort]]] = [
+            [
+                [
+                    port(f"agg{p}.{a}->leaf{p * L + l}", spec.fabric_link_gbps)
+                    for l in range(L)
+                ]
+                for a in range(A)
+            ]
+            for p in range(P)
+        ]
+        self.agg_up: List[List[List[OutputPort]]] = [
+            [
+                [
+                    port(f"agg{p}.{a}->core{c}", spec.fabric_link_gbps)
+                    for c in range(C)
+                ]
+                for a in range(A)
+            ]
+            for p in range(P)
+        ]
+        self.core_down: List[List[List[OutputPort]]] = [
+            [
+                [
+                    port(f"core{c}->agg{p}.{a}", spec.fabric_link_gbps)
+                    for a in range(A)
+                ]
+                for p in range(P)
+            ]
+            for c in range(C)
+        ]
+
+        self._paths_cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        self._route_cache: Dict[Tuple[int, int, int], Tuple[OutputPort, ...]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Addressing
+    # ------------------------------------------------------------------ #
+
+    def leaf_of(self, host: int) -> int:
+        """Global leaf index (``pod * leaves_per_pod + local_leaf``)."""
+        return host // self.config.hosts_per_leaf
+
+    def hosts_of_leaf(self, leaf: int) -> range:
+        k = self.config.hosts_per_leaf
+        return range(leaf * k, (leaf + 1) * k)
+
+    def pod_of_leaf(self, leaf: int) -> int:
+        return leaf // self.config.leaves_per_pod
+
+    # ------------------------------------------------------------------ #
+    # Path enumeration and routing
+    # ------------------------------------------------------------------ #
+
+    def paths(self, src_leaf: int, dst_leaf: int) -> Tuple[int, ...]:
+        """Path ids between two leaves: agg indices inside a pod,
+        ``a * n_cores + c`` across pods, ``(-1,)`` same leaf."""
+        if src_leaf == dst_leaf:
+            return (-1,)
+        key = (src_leaf, dst_leaf)
+        cached = self._paths_cache.get(key)
+        if cached is None:
+            spec = self.config
+            if self.pod_of_leaf(src_leaf) == self.pod_of_leaf(dst_leaf):
+                cached = tuple(range(spec.aggs_per_pod))
+            else:
+                cached = tuple(
+                    a * spec.n_cores + c
+                    for a in range(spec.aggs_per_pod)
+                    for c in range(spec.n_cores)
+                )
+            self._paths_cache[key] = cached
+        return cached
+
+    def paths_between_hosts(self, src: int, dst: int) -> Tuple[int, ...]:
+        return self.paths(self.leaf_of(src), self.leaf_of(dst))
+
+    def route(self, src: int, dst: int, path_id: int) -> Tuple[OutputPort, ...]:
+        key = (src, dst, path_id)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        if src == dst:
+            raise ValueError("cannot route a packet to its own host")
+        spec = self.config
+        L = spec.leaves_per_pod
+        src_leaf = self.leaf_of(src)
+        dst_leaf = self.leaf_of(dst)
+        src_pod, dst_pod = src_leaf // L, dst_leaf // L
+        dst_local = dst_leaf % L
+        if src_leaf == dst_leaf:
+            route: Tuple[OutputPort, ...] = (self.host_up[src], self.leaf_down[dst])
+        elif src_pod == dst_pod:
+            a = path_id
+            if not 0 <= a < spec.aggs_per_pod:
+                raise ValueError(
+                    f"intra-pod path {path_id} outside [0, {spec.aggs_per_pod})"
+                )
+            route = (
+                self.host_up[src],
+                self.leaf_up[src_leaf][a],
+                self.agg_down[src_pod][a][dst_local],
+                self.leaf_down[dst],
+            )
+        else:
+            a, c = divmod(path_id, spec.n_cores)
+            if not 0 <= a < spec.aggs_per_pod:
+                raise ValueError(
+                    f"inter-pod path {path_id} outside "
+                    f"[0, {spec.aggs_per_pod * spec.n_cores})"
+                )
+            route = (
+                self.host_up[src],
+                self.leaf_up[src_leaf][a],
+                self.agg_up[src_pod][a][c],
+                self.core_down[c][dst_pod][a],
+                self.agg_down[dst_pod][a][dst_local],
+                self.leaf_down[dst],
+            )
+        self._route_cache[key] = route
+        return route
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def uplink_ports(self, leaf: int) -> List[Tuple[int, OutputPort]]:
+        """(agg index, port) uplinks of a leaf."""
+        return list(enumerate(self.leaf_up[leaf]))
+
+    def all_ports(self) -> List[OutputPort]:
+        ports: List[OutputPort] = list(self.host_up) + list(self.leaf_down)
+        for row in self.leaf_up:
+            ports.extend(row)
+        for pod in self.agg_down:
+            for agg in pod:
+                ports.extend(agg)
+        for pod in self.agg_up:
+            for agg in pod:
+                ports.extend(agg)
+        for core in self.core_down:
+            for pod in core:
+                ports.extend(pod)
+        return ports

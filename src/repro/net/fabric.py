@@ -7,13 +7,13 @@ after each link traversal; the final hop lands in :meth:`Host.receive`.
 
 from __future__ import annotations
 
-import warnings
-from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Union, TYPE_CHECKING
 
 from repro.hooks import HookSet
 from repro.net.host import Host
 from repro.net.packet import Packet, PacketKind, PacketPool
-from repro.net.topology import LeafSpineTopology, TopologyConfig
+from repro.net.spec import TopologySpec, as_topology_spec
+from repro.net.topology import TopologyConfig
 from repro.sim.engine import Simulator, _HOOK_DEPRECATION
 from repro.sim.rng import RngStreams
 
@@ -26,25 +26,30 @@ _PROBE_KINDS = (PacketKind.PROBE, PacketKind.PROBE_REPLY)
 
 
 class Fabric:
-    """A running leaf–spine network.
+    """A running fabric (leaf–spine by default; any :class:`TopologySpec`).
 
     Args:
         sim: event engine.
-        config: topology parameters.
+        config: a :class:`TopologyConfig` (leaf–spine, the historical
+            form) or any :class:`~repro.net.spec.TopologySpec` — the spec
+            wires the topology and the fabric forwards through it.
         rng: seeded random streams shared by all components.
     """
 
     def __init__(
         self,
         sim: Simulator,
-        config: TopologyConfig,
+        config: Union[TopologyConfig, TopologySpec],
         rng: Optional[RngStreams] = None,
     ) -> None:
         self.sim = sim
         self.rng = rng if rng is not None else RngStreams(0)
-        self.topology = LeafSpineTopology(sim, config, self.forward)
+        #: The declarative spec this fabric was built from.
+        self.spec: TopologySpec = as_topology_spec(config)
+        self.topology = self.spec.build(sim, self.forward)
         self.hosts: List[Host] = [
-            Host(h, self.topology.leaf_of(h), self) for h in range(config.n_hosts)
+            Host(h, self.topology.leaf_of(h), self)
+            for h in range(self.spec.n_hosts)
         ]
         self.flows: Dict[int, "FlowBase"] = {}
         self._next_flow_id = 0
@@ -93,7 +98,7 @@ class Fabric:
         return self.topology.config
 
     # ------------------------------------------------------------------ #
-    # Legacy hook attributes (deprecated setters; see repro.hooks)
+    # Legacy hook attributes (read-only; assignment is a hard error)
     # ------------------------------------------------------------------ #
 
     @property
@@ -104,9 +109,7 @@ class Fabric:
 
     @checker.setter
     def checker(self, value) -> None:
-        warnings.warn(_HOOK_DEPRECATION, DeprecationWarning, stacklevel=2)
-        self._checker = value
-        self._refresh_fast_path()
+        raise AttributeError(_HOOK_DEPRECATION)
 
     @property
     def tracer(self):
@@ -115,9 +118,7 @@ class Fabric:
 
     @tracer.setter
     def tracer(self, value) -> None:
-        warnings.warn(_HOOK_DEPRECATION, DeprecationWarning, stacklevel=2)
-        self._tracer = value
-        self._refresh_fast_path()
+        raise AttributeError(_HOOK_DEPRECATION)
 
     def _refresh_fast_path(self) -> None:
         """Recompute the hooks-off flag (called by the HookSet and the

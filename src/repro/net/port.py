@@ -14,7 +14,6 @@ lazily (decay computed on read) so it costs no timer events.
 from __future__ import annotations
 
 import math
-import warnings
 from collections import deque
 from typing import Callable, List, Optional, TYPE_CHECKING
 
@@ -201,7 +200,7 @@ class OutputPort:
         self._guarded = False
 
     # ------------------------------------------------------------------ #
-    # Legacy hook attributes (deprecated setters; see repro.hooks)
+    # Legacy hook attributes (read-only; assignment is a hard error)
     # ------------------------------------------------------------------ #
 
     @property
@@ -212,9 +211,7 @@ class OutputPort:
 
     @checker.setter
     def checker(self, value) -> None:
-        warnings.warn(_HOOK_DEPRECATION, DeprecationWarning, stacklevel=2)
-        self._checker = value
-        self._refresh_fast_path()
+        raise AttributeError(_HOOK_DEPRECATION)
 
     @property
     def tracer(self):
@@ -224,9 +221,7 @@ class OutputPort:
 
     @tracer.setter
     def tracer(self, value) -> None:
-        warnings.warn(_HOOK_DEPRECATION, DeprecationWarning, stacklevel=2)
-        self._tracer = value
-        self._refresh_fast_path()
+        raise AttributeError(_HOOK_DEPRECATION)
 
     def _refresh_fast_path(self) -> None:
         """Recompute the enqueue guard flag.  Every input that can force
@@ -428,6 +423,23 @@ class OutputPort:
         self._refresh_fast_path()
         if not down and not self.busy:
             self._start_next()
+
+    def divert_propagation(
+        self, sink: Callable[[int, Callable[[Packet], None], Packet], None]
+    ) -> None:
+        """Intercept this port's post-serialization propagation.
+
+        Normally :meth:`_tx_done` hands the serialized packet to
+        ``sim.schedule_pooled(prop_delay_ns, forward, packet)``.  After
+        diversion, ``sink(prop_delay_ns, forward, packet)`` is called
+        instead, at the same instant, with the same arguments — the sink
+        decides whether the packet propagates locally or is serialized
+        across a shard boundary (see :class:`repro.shard.BoundaryLink`).
+        Pass ``None`` to restore the engine's scheduler.
+        """
+        self._schedule_pooled = (
+            self.sim.schedule_pooled if sink is None else sink
+        )
 
     # ------------------------------------------------------------------ #
     # DRE utilization estimator (CONGA §4; lazy exponential decay)

@@ -1,0 +1,33 @@
+"""Spatial sharding: one simulation, one process per fabric partition.
+
+A sharded run cuts the fabric along its :meth:`TopologySpec.shard_plan`
+(contiguous leaf groups for leaf–spine) and simulates each partition in
+its own event engine, synchronized by conservative lookahead: the only
+coupling between partitions is inter-switch propagation delay, so every
+shard can safely run ``prop_delay_ns`` ahead of the globally earliest
+pending event before it must see the others' packets.
+
+The point of the exercise is *bit identity*: ``--shards N`` must produce
+the same flow records, the same event count and the same final clock as
+the in-process run, for every scheme (enforced by the golden-grid shard
+tests and the CI ``shard-smoke`` job).  See DESIGN.md §14 for the
+boundary/ordering model and the composite-sequence argument.
+
+Public surface:
+
+* :func:`run_sharded` — run one :class:`ExperimentConfig` across
+  ``config.shards`` partitions (``run_experiment`` dispatches here
+  automatically when ``shards > 1``);
+* :class:`ShardedSimulator` / :class:`ShardedWheelSimulator` — engines
+  whose sequence numbers are composite ``(generation time, origin)``
+  tuples, making the dispatch order reconstructible across processes.
+"""
+
+from repro.shard.engine import ShardedSimulator, ShardedWheelSimulator
+from repro.shard.runner import run_sharded
+
+__all__ = [
+    "ShardedSimulator",
+    "ShardedWheelSimulator",
+    "run_sharded",
+]

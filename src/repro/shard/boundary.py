@@ -1,0 +1,178 @@
+"""Shard boundary: packet serialization and the uplink diversion sink.
+
+A boundary crossing replaces exactly one serial engine event.  Serially,
+a packet leaving ``leaf_up`` is handed to
+``sim.schedule_pooled(prop_delay_ns, fabric.forward, packet)``; in a
+sharded run the owning shard's :class:`BoundaryRouter` intercepts that
+call (via :meth:`OutputPort.divert_propagation`).  A packet whose
+destination rack is local propagates normally.  A packet bound for
+another shard is encoded to a plain tuple and queued in the **outbox**
+with its arrival instant (``now + prop_delay_ns``), generation instant
+and a monotone emission index; the coordinator ferries it across, and
+the destination shard injects one event that decodes the tuple and calls
+its own ``fabric.forward`` — same instant, same composite-order position,
+same downstream state touched (the spine's down-port queue is owned by
+the destination shard, so queue/DRE/ECN state is exact, not
+approximated).
+
+The codec round-trips every :class:`Packet` field except ``route``
+(recomputed from the destination shard's identically-built topology) —
+``PacketPool.acquire`` resets all fields bit-for-bit, so pool-order
+differences between shards are semantically invisible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.fabric import Fabric
+
+#: Outbox entry: (arrival_ns, gen_ns, emission_idx, dst_shard, encoded).
+Message = Tuple[int, int, int, int, tuple]
+
+
+def encode_packet(packet: Packet) -> tuple:
+    """Flatten a packet to a picklable tuple (everything but ``route``)."""
+    return (
+        packet.flow_id,
+        packet.src,
+        packet.dst,
+        packet.seq,
+        packet.size,
+        packet.kind,
+        packet.ack_seq,
+        packet.path_id,
+        packet.ecn_capable,
+        packet.ce,
+        packet.ece,
+        packet.ts_echo,
+        packet.is_retx,
+        packet.priority,
+        packet.conga_metric,
+        packet.hop,
+    )
+
+
+def decode_packet(fabric: "Fabric", data: tuple) -> Packet:
+    """Rebuild a boundary packet inside the destination shard.
+
+    The route is recomputed from this shard's topology — structurally
+    identical to the source shard's (both built from the same spec) —
+    and ``hop`` restored, so the next ``forward()`` enqueues exactly the
+    port the serial run would have (the spine down-port toward the
+    destination rack).
+    """
+    (flow_id, src, dst, seq, size, kind, ack_seq, path_id, ecn_capable,
+     ce, ece, ts_echo, is_retx, priority, conga_metric, hop) = data
+    packet = fabric.packet_pool.acquire(
+        flow_id, src, dst, seq, size, kind,
+        path_id=path_id, ecn_capable=ecn_capable, priority=priority,
+    )
+    packet.ack_seq = ack_seq
+    packet.ce = ce
+    packet.ece = ece
+    packet.ts_echo = ts_echo
+    packet.is_retx = is_retx
+    packet.conga_metric = conga_metric
+    packet.route = fabric.topology.route(src, dst, path_id)
+    packet.hop = hop
+    return packet
+
+
+class BoundaryRouter:
+    """Per-shard uplink diversion sink + outbox.
+
+    Installed on every *local* leaf's up-ports.  Signature-compatible
+    with ``sim.schedule_pooled`` as :meth:`OutputPort.divert_propagation`
+    requires: called as ``sink(prop_delay_ns, forward, packet)`` at the
+    serialization-complete instant.
+    """
+
+    __slots__ = ("fabric", "sim", "shard_id", "_shard_of_leaf", "_leaf_of",
+                 "_emission_idx", "outbox")
+
+    def __init__(
+        self,
+        fabric: "Fabric",
+        shard_id: int,
+        shard_of_leaf: List[int],
+    ) -> None:
+        self.fabric = fabric
+        self.sim = fabric.sim
+        self.shard_id = shard_id
+        self._shard_of_leaf = shard_of_leaf
+        self._leaf_of = fabric.topology.leaf_of
+        self._emission_idx = 0
+        self.outbox: List[Message] = []
+
+    def __call__(
+        self, delay_ns: int, forward: Callable[[Packet], None], packet: Packet
+    ) -> Optional[object]:
+        dst_shard = self._shard_of_leaf[self._leaf_of(packet.dst)]
+        if dst_shard == self.shard_id:
+            return self.sim.schedule_pooled(delay_ns, forward, packet)
+        now = self.sim.now
+        idx = self._emission_idx
+        self._emission_idx = idx + 1
+        self.outbox.append(
+            (now + delay_ns, now, idx, dst_shard, encode_packet(packet))
+        )
+        self.fabric.packet_pool.release(packet)
+        return None
+
+    def drain(self) -> List[Message]:
+        """Hand the window's emissions to the coordinator."""
+        out = self.outbox
+        self.outbox = []
+        return out
+
+    def install(self, local_leaves) -> None:
+        """Divert the up-ports of every local leaf through this router.
+
+        Only local leaves forward traffic in this shard (a local flow's
+        route reaches remote port objects strictly *after* the cut, and
+        those hops execute in the owning shard), so remote up-ports are
+        left untouched.
+        """
+        for leaf in local_leaves:
+            for _spine, port in self.fabric.topology.uplink_ports(leaf):
+                port.divert_propagation(self)
+
+
+class WindowLog:
+    """Per-window dispatch log, attached as the engine's profiler.
+
+    Records each fired event's ``(time, seq)`` key — the reconciliation
+    currency: the coordinator picks the globally last flow-finish key and
+    every shard truncates its final-window count to keys at or before it,
+    reproducing the serial engine's exact stop point.
+
+    Also counts **hazards**: adjacent same-``(time, gen_ns)`` events of
+    different origins (local vs injected, or injected from different
+    source shards), whose serial relative order is unreconstructible.
+    Equal-key-prefix events are contiguous in dispatch order, so checking
+    adjacent pairs detects every ambiguous run.
+    """
+
+    __slots__ = ("keys", "hazards")
+
+    def __init__(self) -> None:
+        self.keys: List[tuple] = []
+        self.hazards = 0
+
+    def on_event(self, event) -> None:
+        keys = self.keys
+        seq = event.seq
+        if keys:
+            prev_time, prev_seq = keys[-1]
+            if prev_time == event.time and prev_seq[0] == seq[0]:
+                a, b = prev_seq[1], seq[1]
+                if a[0] != b[0] or (a[0] == 1 and a[1] != b[1]):
+                    self.hazards += 1
+        keys.append((event.time, seq))
+
+    def start_window(self) -> None:
+        self.keys.clear()

@@ -1,0 +1,186 @@
+"""Sharded event engines: composite sequence numbers + event injection.
+
+The serial engines order same-instant events by a global integer ``seq``
+drawn at scheduling time — scheduling order *is* dispatch order.  A
+sharded run has no global counter, so these subclasses draw **composite**
+sequence tuples instead::
+
+    local event:    (gen_ns, (0, sub))
+    injected event: (gen_ns, (1, src_shard, emission_idx))
+
+``gen_ns`` is the simulation instant the event was *scheduled* (for a
+boundary packet: the instant the source shard serialized it), ``sub`` a
+per-instant counter that resets whenever the clock advances, and
+``emission_idx`` the source shard's monotone boundary-emission counter.
+Events still dispatch in ``(time, seq)`` order — tuples compare
+element-wise — and the composite order provably matches the serial
+engine's integer order whenever two same-fire-time events were scheduled
+at *different* instants (the serial seq order is exactly scheduling-time
+order).  Same-fire-time events scheduled at the *same* instant in the
+same shard keep their relative ``sub`` order, which matches the serial
+subsequence order because same-instant causal chains never leave a shard
+(crossing costs ``prop_delay_ns > 0``).  The only residual ambiguity —
+same fire time *and* same generation instant but different origins — is
+counted as a **hazard** by the worker's window log; the golden shard
+tests assert zero.
+
+``inject()`` is the coordinator-facing entry point: it enqueues an event
+with a caller-supplied composite seq (a boundary packet arriving from
+another shard), bypassing the local draw.
+"""
+
+from __future__ import annotations
+
+from heapq import heappush
+from typing import Any, Callable, Tuple
+
+from repro.sim.engine import Event, Simulator, WheelSimulator
+
+#: Composite sequence tuple: ``(gen_ns, origin_tag)``.
+Seq = Tuple[int, tuple]
+
+
+class _CompositeSeqMixin:
+    """Scheduling overrides shared by both sharded engines.
+
+    Subclasses provide ``_push(event)`` — heap push or wheel insert —
+    and call :meth:`_shard_init` after the base constructor.
+    """
+
+    def _shard_init(self) -> None:
+        #: Instant of the most recent seq draw; ``sub`` resets when the
+        #: clock moves past it, keeping tuples small and order exact.
+        self._seq_ns = -1
+        self._seq_sub = 0
+
+    def _draw_seq(self) -> Seq:
+        now = self.now
+        if now != self._seq_ns:
+            self._seq_ns = now
+            self._seq_sub = 0
+        sub = self._seq_sub
+        self._seq_sub = sub + 1
+        return (now, (0, sub))
+
+    def _push(self, event: Event) -> None:
+        raise NotImplementedError
+
+    # -- the four scheduling entry points, re-keyed ---------------------- #
+
+    def schedule(self, delay_ns: int, fn: Callable[..., Any], *args: Any) -> Event:
+        if delay_ns < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay_ns})")
+        event = Event(self.now + delay_ns, self._draw_seq(), fn, args)
+        self._push(event)
+        return event
+
+    def schedule_pooled(self, delay_ns: int, fn: Callable[..., Any], *args: Any) -> Event:
+        if delay_ns < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay_ns})")
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event.time = self.now + delay_ns
+            event.seq = self._draw_seq()
+            event.fn = fn
+            event.args = args
+            event.cancelled = False
+        else:
+            event = Event(self.now + delay_ns, self._draw_seq(), fn, args)
+            event.poolable = True
+        self._push(event)
+        return event
+
+    def schedule_at(self, time_ns: int, fn: Callable[..., Any], *args: Any) -> Event:
+        if time_ns < self.now:
+            raise ValueError(
+                f"cannot schedule at t={time_ns} before now={self.now}"
+            )
+        event = Event(time_ns, self._draw_seq(), fn, args)
+        self._push(event)
+        return event
+
+    def reschedule(self, event: Event, delay_ns: int) -> Event:
+        if delay_ns < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay_ns})")
+        event.time = self.now + delay_ns
+        event.seq = self._draw_seq()
+        event.cancelled = False
+        self._push(event)
+        return event
+
+    # -- coordinator-facing --------------------------------------------- #
+
+    def inject(self, time_ns: int, seq: Seq, fn: Callable[..., Any], *args: Any) -> Event:
+        """Enqueue a cross-shard event with an externally drawn seq.
+
+        Called between windows with the arrival time and composite seq of
+        a boundary packet serialized by another shard.  The conservative
+        horizon guarantees ``time_ns >= now`` (a window's emissions all
+        arrive at or after the next horizon), so this never schedules
+        into the past.
+        """
+        if time_ns < self.now:
+            raise ValueError(
+                f"cannot inject at t={time_ns} before now={self.now}"
+            )
+        event = Event(time_ns, seq, fn, args)
+        self._push(event)
+        return event
+
+    def reset(self) -> None:
+        super().reset()
+        self._shard_init()
+
+
+class ShardedSimulator(_CompositeSeqMixin, Simulator):
+    """Binary-heap engine with composite sequence numbers."""
+
+    scheduler = "heap"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shard_init()
+
+    def _push(self, event: Event) -> None:
+        heappush(self._queue, event)
+
+
+class ShardedWheelSimulator(_CompositeSeqMixin, WheelSimulator):
+    """Calendar-wheel engine with composite sequence numbers.
+
+    The wheel's mechanics are seq-agnostic: slots sort on ``(time, seq)``
+    at open time and the live-bucket merge bisects on the same key, so
+    tuple seqs (including injected ones that are *not* the largest drawn)
+    land in exactly their total-order position.
+    """
+
+    scheduler = "wheel"
+
+    def __init__(self, slot_ns_bits: int = 12, num_slot_bits: int = 11) -> None:
+        super().__init__(slot_ns_bits=slot_ns_bits, num_slot_bits=num_slot_bits)
+        self._shard_init()
+
+    def _push(self, event: Event) -> None:
+        self._insert(event)
+
+
+def make_sharded_simulator(
+    scheduler: str,
+    *,
+    slot_ns_bits=None,
+    num_slot_bits=None,
+):
+    """The sharded counterpart of :func:`repro.sim.engine.make_simulator`
+    (``scheduler`` is already env-resolved by the caller)."""
+    if scheduler == "heap":
+        return ShardedSimulator()
+    kwargs = {}
+    if slot_ns_bits is not None:
+        kwargs["slot_ns_bits"] = slot_ns_bits
+    if num_slot_bits is not None:
+        kwargs["num_slot_bits"] = num_slot_bits
+    sim = ShardedWheelSimulator(**kwargs)
+    if scheduler != "wheel":
+        sim.scheduler = scheduler
+    return sim

@@ -1,0 +1,325 @@
+"""The sharded experiment coordinator.
+
+:func:`run_sharded` cuts one experiment into ``config.shards`` leaf
+groups (``spec.shard_plan``), builds one :class:`ShardWorker` per group
+— in worker processes when enough cores are available, in-process
+otherwise — and drives them through a conservative-lookahead barrier
+loop:
+
+1. Deliver every ferried boundary message to its destination shard.
+2. ``T_min`` = the earliest pending instant anywhere (local queues ∪
+   ferried arrivals); the window horizon is ``T_min + L`` (capped at the
+   drain deadline), where the lookahead ``L`` is the inter-shard link
+   propagation delay: no event at/after ``T_min`` can make a packet
+   *arrive* across a cut before ``T_min + L``.
+3. Every shard runs ``run_until(horizon)`` — in parallel, safely: all
+   events before the horizon are already queued locally.
+4. Collect each window's boundary emissions and repeat.
+
+The run ends either when every flow has finished — the coordinator then
+reconciles the shards at ``K*``, the globally last flow-finish key,
+reproducing the serial engine's ``sim.stop()`` instant exactly — or at
+the drain deadline, mirroring ``sim.run(until=deadline)``.
+
+Crash tolerance follows :mod:`repro.experiments.parallel`: a dead worker
+process (EOF/broken pipe) aborts the process fleet and the whole cell
+re-runs in-process — the run is deterministic, so the retry computes the
+identical result the fleet would have.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.metrics.fct import LARGE_FLOW_BYTES, SMALL_FLOW_BYTES, FctStats
+from repro.net.spec import as_topology_spec
+from repro.shard.worker import ShardWorker
+from repro.sim.engine import resolve_scheduler
+
+#: Features that require a single shared engine (observability layers
+#: hook one simulator/fabric) or per-packet RNG draws whose stream order
+#: a spatial cut cannot replay.  Each maps to the error message fragment.
+_UNSUPPORTED = "sharded runs (shards > 1) do not support"
+
+
+class _ShardCrash(RuntimeError):
+    """A worker process died mid-run; the cell re-runs in-process."""
+
+
+def _validate_sharded(config: ExperimentConfig, spec) -> None:
+    from repro.experiments.runner import trace_forced, validate_forced
+
+    if config.validate or validate_forced():
+        raise ValueError(f"{_UNSUPPORTED} the validate layer")
+    if config.trace or trace_forced():
+        raise ValueError(f"{_UNSUPPORTED} the telemetry layer")
+    if config.streaming_enabled():
+        raise ValueError(f"{_UNSUPPORTED} streaming statistics")
+    if config.visibility_sampling:
+        raise ValueError(f"{_UNSUPPORTED} visibility sampling")
+    if config.faults is not None and config.faults:
+        raise ValueError(f"{_UNSUPPORTED} the scheduled fault plane")
+    if config.detector is not None:
+        raise ValueError(f"{_UNSUPPORTED} detector specs")
+    if config.failure is not None and config.failure.kind == "random_drop":
+        # Per-packet drop draws consume the "failure" stream in global
+        # packet order, which no shard can reproduce alone.  Blackholes
+        # are fine: one deterministic setup-time draw, static predicates.
+        raise ValueError(f"{_UNSUPPORTED} random_drop failures")
+    if spec.prop_delay_ns <= 0:
+        raise ValueError(
+            "sharded runs need a positive inter-shard propagation delay "
+            "for conservative lookahead"
+        )
+    if config.shards > spec.n_leaves:
+        raise ValueError(
+            f"cannot cut {spec.n_leaves} leaves into {config.shards} shards"
+        )
+
+
+# --------------------------------------------------------------------- #
+# Worker channels: same protocol in-process and across a Pipe
+# --------------------------------------------------------------------- #
+
+
+class _InlineChannel:
+    """Round-robin in-process worker — the fallback (and ``jobs=1``) mode."""
+
+    def __init__(self, config: ExperimentConfig, shard_id: int, plan) -> None:
+        self.worker = ShardWorker(config, shard_id, plan)
+        self.deadline = self.worker.deadline
+        self.next0 = self.worker.peek()
+        self._reply: Any = None
+
+    def post_window(self, horizon: int, msgs) -> None:
+        self._reply = self.worker.window(horizon, msgs)
+
+    def post_finish(self, kstar, is_owner: bool) -> None:
+        self._reply = self.worker.finish(kstar, is_owner)
+
+    def recv(self) -> Any:
+        reply, self._reply = self._reply, None
+        return reply
+
+    def close(self) -> None:
+        pass
+
+
+def _worker_main(conn, config: ExperimentConfig, shard_id: int, plan) -> None:
+    """Child-process loop: build the shard, then serve barrier commands."""
+    try:
+        worker = ShardWorker(config, shard_id, plan)
+        conn.send(("ready", worker.deadline, worker.peek()))
+        while True:
+            command = conn.recv()
+            if command[0] == "window":
+                conn.send(worker.window(command[1], command[2]))
+            elif command[0] == "finish":
+                conn.send(worker.finish(command[1], command[2]))
+                break
+            else:  # pragma: no cover - protocol misuse
+                raise RuntimeError(f"unknown shard command {command[0]!r}")
+    except (EOFError, BrokenPipeError, OSError):  # pragma: no cover
+        pass
+    finally:
+        conn.close()
+
+
+class _ProcessChannel:
+    """One worker process behind a duplex pipe."""
+
+    def __init__(self, config: ExperimentConfig, shard_id: int, plan) -> None:
+        parent, child = multiprocessing.Pipe()
+        self.conn = parent
+        self.process = multiprocessing.Process(
+            target=_worker_main,
+            args=(child, config, shard_id, plan),
+            daemon=True,
+        )
+        self.process.start()
+        child.close()
+        tag, self.deadline, self.next0 = self._recv_raw()
+        if tag != "ready":  # pragma: no cover - protocol misuse
+            raise _ShardCrash(f"shard {shard_id} spoke {tag!r} before ready")
+
+    def _recv_raw(self) -> Any:
+        try:
+            return self.conn.recv()
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            raise _ShardCrash(str(exc)) from exc
+
+    def post_window(self, horizon: int, msgs) -> None:
+        try:
+            self.conn.send(("window", horizon, msgs))
+        except (BrokenPipeError, OSError) as exc:
+            raise _ShardCrash(str(exc)) from exc
+
+    def post_finish(self, kstar, is_owner: bool) -> None:
+        try:
+            self.conn.send(("finish", kstar, is_owner))
+        except (BrokenPipeError, OSError) as exc:
+            raise _ShardCrash(str(exc)) from exc
+
+    def recv(self) -> Any:
+        return self._recv_raw()
+
+    def close(self) -> None:
+        self.conn.close()
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():  # pragma: no cover - wedged child
+            self.process.terminate()
+            self.process.join()
+
+
+# --------------------------------------------------------------------- #
+# The barrier loop
+# --------------------------------------------------------------------- #
+
+
+def _coordinate(
+    channels: Sequence[Any], lookahead_ns: int
+) -> Tuple[List[Dict[str, Any]], int, Dict[str, int]]:
+    """Drive the windows; returns (finish payloads, sim_time_ns, diag)."""
+    n = len(channels)
+    deadline = channels[0].deadline
+    next_times: List[Optional[int]] = [ch.next0 for ch in channels]
+    finish_keys: List[Optional[tuple]] = [None] * n
+    inboxes: List[List[tuple]] = [[] for _ in range(n)]
+    windows = 0
+    messages = 0
+    kstar: Optional[tuple] = None
+    while True:
+        candidates = [t for t in next_times if t is not None]
+        candidates.extend(m[0] for box in inboxes for m in box)
+        if not candidates or min(candidates) > deadline:
+            # Drain-deadline ending: every event at/before the deadline
+            # has fired everywhere — exactly ``sim.run(until=deadline)``.
+            sim_time = deadline
+            break
+        horizon = min(min(candidates) + lookahead_ns, deadline + 1)
+        for i, ch in enumerate(channels):
+            msgs, inboxes[i] = inboxes[i], []
+            msgs.sort()
+            ch.post_window(horizon, msgs)
+        reports = [ch.recv() for ch in channels]
+        windows += 1
+        remaining = 0
+        for src, report in enumerate(reports):
+            next_times[src] = report["next"]
+            finish_keys[src] = report["finish_key"]
+            remaining += report["remaining"]
+            for arrival_ns, gen_ns, idx, dst, encoded in report["outbox"]:
+                inboxes[dst].append((arrival_ns, gen_ns, idx, src, encoded))
+                messages += 1
+        if remaining == 0:
+            # All flows done: the serial run stopped at its last finish
+            # event.  K* is that event's key — the max over shards of the
+            # last local finish (the global max necessarily happened in
+            # this window, in the shard that reported it).
+            kstar = max(k for k in finish_keys if k is not None)
+            sim_time = kstar[0]
+            break
+    owner = (
+        finish_keys.index(kstar) if kstar is not None else -1
+    )
+    for i, ch in enumerate(channels):
+        ch.post_finish(kstar, i == owner)
+    payloads = [ch.recv() for ch in channels]
+    return payloads, sim_time, {"windows": windows, "messages": messages}
+
+
+def _merge(
+    config: ExperimentConfig,
+    payloads: List[Dict[str, Any]],
+    sim_time: int,
+    diag: Dict[str, int],
+    mode: str,
+):
+    from repro.experiments.runner import ExperimentResult
+
+    records = [r for payload in payloads for r in payload["records"]]
+    # Flow ids are pinned to the global arrival index, which is exactly
+    # the serial registration (and record-list) order.
+    records.sort(key=lambda r: r.flow_id)
+    small_b = int(SMALL_FLOW_BYTES * config.size_scale)
+    large_b = int(LARGE_FLOW_BYTES * config.size_scale)
+    hazards = sum(p["hazards"] for p in payloads)
+    scheduler_name = resolve_scheduler(config.scheduler)
+    return ExperimentResult(
+        config=config,
+        stats=FctStats(records, small_bytes=small_b, large_bytes=large_b),
+        sim_time_ns=sim_time,
+        events=sum(p["events"] for p in payloads),
+        total_reroutes=sum(p["reroutes"] for p in payloads),
+        fabric=None,
+        shared={
+            "shard_diagnostics": {
+                "shards": config.shards,
+                "mode": mode,
+                "hazards": hazards,
+                **diag,
+            }
+        },
+        scheduler_info={
+            "name": scheduler_name,
+            "shards": config.shards,
+            "mode": mode,
+        },
+        probe_losses=sum(p["probe_drops"] for p in payloads),
+    )
+
+
+def _run_inline(config: ExperimentConfig, plan, lookahead_ns: int):
+    channels = [
+        _InlineChannel(config, shard_id, plan)
+        for shard_id in range(config.shards)
+    ]
+    payloads, sim_time, diag = _coordinate(channels, lookahead_ns)
+    return _merge(config, payloads, sim_time, diag, "in-process")
+
+
+def _run_processes(config: ExperimentConfig, plan, lookahead_ns: int):
+    channels: List[_ProcessChannel] = []
+    try:
+        for shard_id in range(config.shards):
+            channels.append(_ProcessChannel(config, shard_id, plan))
+        payloads, sim_time, diag = _coordinate(channels, lookahead_ns)
+    finally:
+        for ch in channels:
+            try:
+                ch.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+    return _merge(config, payloads, sim_time, diag, "multiprocess")
+
+
+def run_sharded(config: ExperimentConfig, jobs: Optional[int] = None):
+    """Run ``config`` spatially partitioned into ``config.shards`` pieces.
+
+    Bit-identical to the serial runner by contract: same flow records
+    (ids, FCTs, retransmissions, timeouts), same event count, same final
+    clock, same reroute and probe-loss counters — enforced by the golden
+    shard suite.  ``jobs`` (default: :func:`~repro.experiments.parallel.
+    resolve_jobs`) only selects *how* the shards execute: one process
+    each when enough cores are free, round-robin in this process
+    otherwise — never what they compute.
+    """
+    from repro.experiments.parallel import resolve_jobs
+
+    if config.shards < 2:
+        raise ValueError("run_sharded needs shards >= 2; use run_experiment")
+    spec = as_topology_spec(config.topology)
+    _validate_sharded(config, spec)
+    plan = spec.shard_plan(config.shards)
+    lookahead_ns = spec.prop_delay_ns
+    effective_jobs = resolve_jobs(jobs)
+    if effective_jobs < config.shards or multiprocessing.parent_process() is not None:
+        # Not enough cores for one process per shard (or already inside a
+        # worker — no nested fleets): round-robin the shards here.
+        return _run_inline(config, plan, lookahead_ns)
+    try:
+        return _run_processes(config, plan, lookahead_ns)
+    except _ShardCrash:
+        return _run_inline(config, plan, lookahead_ns)

@@ -1,0 +1,247 @@
+"""One shard of a partitioned experiment.
+
+A :class:`ShardWorker` owns one leaf group of the fabric.  Its setup
+mirrors :func:`repro.experiments.runner.run_experiment` **exactly** —
+same construction order, same RNG stream names, same scale-derived
+parameters (shared helpers, not copies) — because bit identity demands
+that every shard's view of shared setup state (workload arrivals,
+failure draws, per-entity RNG streams) match the serial run's.  The
+differences are surgical:
+
+* the engine draws composite sequence tuples (:mod:`repro.shard.engine`);
+* local leaves' up-ports divert through a :class:`BoundaryRouter`;
+* periodic state owned by remote racks (Hermes probers and τ-sweeps) is
+  stopped before the clock starts — the owning shard runs those events;
+* flows are split by locality: a flow whose **source** rack is local is
+  started by its arrival event, exactly like the serial run; a flow
+  whose **destination** rack (only) is local gets an eagerly registered
+  receiver replica — the flow constructor is inert (no RNG, no events),
+  and the replica's state advances only when DATA arrives, so early
+  registration is invisible.  Flow ids are pinned to the global arrival
+  index, which is precisely the serial allocation order.
+* nothing stops the local loop: the run ends globally, by coordinator
+  reconciliation (:meth:`finish`), truncating each shard's final window
+  at the globally last flow-finish key ``K*`` — the serial engine's
+  exact ``sim.stop()`` point.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    _arrival_list,
+    _flow_kwargs,
+    _flow_record,
+    _install_failure,
+    _resolved_lb_params,
+)
+from repro.lb.factory import install_lb
+from repro.net.fabric import Fabric
+from repro.shard.boundary import BoundaryRouter, WindowLog, decode_packet
+from repro.shard.engine import make_sharded_simulator
+from repro.sim.engine import resolve_scheduler
+from repro.sim.rng import RngStreams
+from repro.sim.tuning import wheel_geometry_for
+from repro.transport.dctcp import DctcpFlow
+from repro.transport.tcp import TcpFlow
+
+
+class ShardWorker:
+    """Builds and drives one shard (see module docstring).
+
+    Args:
+        config: the full experiment config (``config.shards`` partitions).
+        shard_id: which entry of ``plan`` this worker owns.
+        plan: the leaf groups from ``spec.shard_plan(config.shards)``.
+    """
+
+    def __init__(self, config: ExperimentConfig, shard_id: int, plan) -> None:
+        self.config = config
+        self.shard_id = shard_id
+        self.local_leaves = frozenset(plan[shard_id])
+        shard_of_leaf: List[int] = [0] * sum(len(g) for g in plan)
+        for sid, group in enumerate(plan):
+            for leaf in group:
+                shard_of_leaf[leaf] = sid
+
+        scheduler_name = resolve_scheduler(config.scheduler)
+        if scheduler_name == "wheel:auto":
+            geometry = wheel_geometry_for(config.topology, config.time_scale)
+            sim = make_sharded_simulator(
+                scheduler_name,
+                slot_ns_bits=geometry.slot_ns_bits,
+                num_slot_bits=geometry.num_slot_bits,
+            )
+        else:
+            sim = make_sharded_simulator(scheduler_name)
+        self.sim = sim
+        self.log = WindowLog()
+        # Private-attribute attach, same as HookSet does: the public
+        # ``profiler`` surface is reserved for telemetry (which sharded
+        # runs reject), and the log must see *every* fired event.
+        sim._profiler = self.log
+
+        rng = RngStreams(config.seed)
+        fabric = Fabric(sim, config.topology, rng)
+        self.fabric = fabric
+        shared = install_lb(fabric, config.lb, **_resolved_lb_params(config))
+        # Remote racks' periodic state: cancel before the clock starts.
+        # The events exist so far only as setup-time schedules; cancelled
+        # events never fire and are never counted, so each probe round /
+        # sweep fires in exactly one shard — the owner's.
+        for leaf, prober in shared.get("probers", {}).items():
+            if leaf not in self.local_leaves:
+                prober.stop()
+        for leaf, state in shared.get("leaf_states", {}).items():
+            if leaf not in self.local_leaves and hasattr(state, "stop_sweep"):
+                state.stop_sweep()
+        if config.failure is not None:
+            # Blackhole only (validated upstream): a one-time deterministic
+            # "failure"-stream draw every shard replays identically, and
+            # static drop predicates on spine down-ports — each owned by
+            # the shard of its destination rack.
+            _install_failure(fabric, config.failure, rng)
+
+        self.router = BoundaryRouter(fabric, shard_id, shard_of_leaf)
+        self.router.install(sorted(self.local_leaves))
+
+        # Probe drops are counted fabric-side the moment they happen, but
+        # the serial run stops *mid-window* at K — so drops are logged
+        # with their event key and truncated in finish(), like events.
+        self._drop_keys: List[tuple] = []
+        prev_sink = fabric.probe_drop_sink
+
+        def drop_sink(packet, _prev=prev_sink) -> None:
+            keys = self.log.keys
+            if keys:
+                self._drop_keys.append(keys[-1])
+            if _prev is not None:
+                _prev(packet)
+
+        fabric.probe_drop_sink = drop_sink
+
+        arrivals = _arrival_list(config, rng)
+        self._flow_kwargs = _flow_kwargs(config)
+        self._flow_cls = DctcpFlow if config.transport == "dctcp" else TcpFlow
+        self.flows: List[Any] = []
+        self.remaining = 0
+        self._last_finish_key: Optional[tuple] = None
+        fabric.on_flow_done = self._on_done
+        leaf_of = fabric.topology.leaf_of
+        local = self.local_leaves
+        for index, arrival in enumerate(arrivals):
+            if leaf_of(arrival.src) in local:
+                sim.schedule_at(arrival.time_ns, self._start_flow, index, arrival)
+                self.remaining += 1
+            elif leaf_of(arrival.dst) in local:
+                replica = self._flow_cls(
+                    fabric, arrival.src, arrival.dst, arrival.size_bytes,
+                    flow_id=index, **self._flow_kwargs,
+                )
+                fabric.register_flow(replica)
+        self.deadline = arrivals[-1].time_ns + config.extra_drain_ns
+        self._fired_total = 0
+
+    # ------------------------------------------------------------------ #
+    # Event-side callbacks
+    # ------------------------------------------------------------------ #
+
+    def _start_flow(self, flow_id: int, arrival) -> None:
+        flow = self._flow_cls(
+            self.fabric, arrival.src, arrival.dst, arrival.size_bytes,
+            flow_id=flow_id, **self._flow_kwargs,
+        )
+        self.fabric.register_flow(flow)
+        self.flows.append(flow)
+        flow.start()
+
+    def _on_done(self, flow) -> None:
+        # The log already holds the dispatching event's key (the profiler
+        # hook runs before the callback), so keys[-1] *is* this finish.
+        self.remaining -= 1
+        self._last_finish_key = self.log.keys[-1]
+
+    def _deliver(self, encoded: tuple) -> None:
+        self.fabric.forward(decode_packet(self.fabric, encoded))
+
+    # ------------------------------------------------------------------ #
+    # Coordinator protocol
+    # ------------------------------------------------------------------ #
+
+    def peek(self) -> Optional[int]:
+        """Next pending event time (the pre-first-window T_min input)."""
+        return self.sim.peek_time()
+
+    def window(self, horizon: int, msgs) -> Dict[str, Any]:
+        """Inject this window's boundary arrivals, run to ``horizon``
+        (exclusive), and report back.
+
+        ``msgs`` are delivery tuples ``(arrival_ns, gen_ns, emission_idx,
+        src_shard, encoded)``, pre-sorted by the coordinator.  The
+        conservative horizon guarantees every arrival is at/after this
+        shard's clock *and* at/after the window's own horizon — no
+        message can land inside the window that produced it.
+        """
+        sim = self.sim
+        deliver = self._deliver
+        for arrival_ns, gen_ns, idx, src_shard, encoded in msgs:
+            sim.inject(arrival_ns, (gen_ns, (1, src_shard, idx)), deliver, encoded)
+        self.log.start_window()
+        self._fired_total += sim.run_until(horizon)
+        return {
+            "next": sim.peek_time(),
+            "outbox": self.router.drain(),
+            "remaining": self.remaining,
+            "finish_key": self._last_finish_key,
+        }
+
+    def finish(self, kstar: Optional[tuple], is_owner: bool) -> Dict[str, Any]:
+        """Reconcile and report this shard's slice of the result.
+
+        ``kstar`` is the globally last flow-finish key (``None`` on the
+        drain-deadline path, where nothing is truncated).  Final-window
+        events and probe drops after ``K*`` would not have fired in the
+        serial run — they are subtracted from the counts; their *state*
+        side effects are provably benign once every flow has finished
+        (finished flows ignore stray ACKs/timeouts, receivers aren't
+        snapshotted, and reroute counters only move during transmissions).
+        """
+        log = self.log
+        keys = log.keys
+        if kstar is None:
+            events = self._fired_total
+            probe_drops = len(self._drop_keys)
+        else:
+            events = (
+                self._fired_total
+                - len(keys)
+                + sum(1 for k in keys if k <= kstar)
+            )
+            probe_drops = sum(1 for k in self._drop_keys if k <= kstar)
+            if not is_owner:
+                # A non-owner event at K*'s exact (time, generation
+                # instant) is order-ambiguous against the stop point —
+                # same class of hazard the window log counts inline.
+                log.hazards += sum(
+                    1 for k in keys
+                    if k[0] == kstar[0] and k[1][0] == kstar[1][0]
+                )
+        local_hosts = {
+            h
+            for leaf in self.local_leaves
+            for h in self.fabric.topology.hosts_of_leaf(leaf)
+        }
+        reroutes = sum(
+            self.fabric.hosts[h].lb.reroutes
+            for h in local_hosts
+            if self.fabric.hosts[h].lb is not None
+        )
+        return {
+            "records": [_flow_record(f) for f in self.flows],
+            "events": events,
+            "reroutes": reroutes,
+            "probe_drops": probe_drops,
+            "hazards": log.hazards,
+        }

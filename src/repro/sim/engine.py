@@ -25,7 +25,6 @@ the scheduler-differential test suite).  Select per run with
 from __future__ import annotations
 
 import os
-import warnings
 from bisect import insort
 from heapq import heapify, heappop, heappush
 from operator import attrgetter
@@ -52,10 +51,14 @@ SCHEDULERS = ("heap", "wheel", "wheel:auto")
 #: ``"heap"`` stays selectable per config or via ``REPRO_SCHEDULER``.
 DEFAULT_SCHEDULER = "wheel"
 
-#: Deprecation message prefix shared by every legacy hook attribute —
-#: the CI test job promotes exactly this prefix to an error.
+#: Error message shared by every legacy hook attribute.  Direct hook
+#: assignment was deprecated when :class:`repro.hooks.HookSet` landed
+#: (PR 6) and is now a hard error: the fast-path flags HookSet maintains
+#: (`Fabric._fast`, `OutputPort._guarded`) are only refreshed through
+#: ``attach``/``detach``, so a bypassing write could silently install a
+#: hook the hot path never consults.
 _HOOK_DEPRECATION = (
-    "deprecated hook attribute assignment; use "
+    "direct hook attribute assignment was removed; use "
     "repro.hooks.HookSet (fabric.hooks.attach(...)) instead"
 )
 
@@ -156,7 +159,7 @@ class Simulator:
         self._profiler = None
 
     # ------------------------------------------------------------------ #
-    # Legacy hook attributes (deprecated setters; see repro.hooks)
+    # Legacy hook attributes (read-only; assignment is a hard error)
     # ------------------------------------------------------------------ #
 
     @property
@@ -167,8 +170,7 @@ class Simulator:
 
     @checker.setter
     def checker(self, value) -> None:
-        warnings.warn(_HOOK_DEPRECATION, DeprecationWarning, stacklevel=2)
-        self._checker = value
+        raise AttributeError(_HOOK_DEPRECATION)
 
     @property
     def profiler(self):
@@ -178,8 +180,7 @@ class Simulator:
 
     @profiler.setter
     def profiler(self, value) -> None:
-        warnings.warn(_HOOK_DEPRECATION, DeprecationWarning, stacklevel=2)
-        self._profiler = value
+        raise AttributeError(_HOOK_DEPRECATION)
 
     # ------------------------------------------------------------------ #
     # Scheduling
@@ -377,6 +378,63 @@ class Simulator:
             self._running = False
         if until is not None and not self._stop_requested and self.now < until:
             self.now = until
+        return fired
+
+    def run_until(self, horizon: int, max_events: Optional[int] = None) -> int:
+        """Fire every pending event with ``time < horizon`` and return.
+
+        The conservative-lookahead barrier API (see :mod:`repro.shard`):
+        unlike :meth:`run`, the bound is *exclusive* and the clock is left
+        at the last fired event rather than advanced to the bound, so the
+        loop is resumable — a later ``run_until`` with a larger horizon
+        continues exactly where this one stopped, and events injected
+        between windows at ``t >= horizon`` dispatch in their correct
+        ``(time, seq)`` position.
+
+        Returns the number of events fired during this call.
+        """
+        if self._running:
+            raise RuntimeError(
+                "Simulator.run_until() is not re-entrant; "
+                "use schedule()/stop() from within callbacks"
+            )
+        queue = self._queue
+        pop = heappop
+        pool = self._event_pool
+        limit = _NEVER if max_events is None else max_events
+        checker = self._checker
+        profiler = self._profiler
+        fired = 0
+        self._stop_requested = False
+        self._running = True
+        try:
+            while queue:
+                event = queue[0]
+                if event.cancelled:
+                    pop(queue)
+                    if event.poolable:
+                        event.args = ()
+                        pool.append(event)
+                    continue
+                if event.time >= horizon or fired >= limit:
+                    break
+                pop(queue)
+                if checker is not None:
+                    checker.on_advance(event.time, self.now)
+                self.now = event.time
+                fired += 1
+                if profiler is not None:
+                    profiler.on_event(event)
+                seq = event.seq
+                event.fn(*event.args)
+                if event.poolable and event.seq == seq:
+                    event.args = ()
+                    pool.append(event)
+                if self._stop_requested:
+                    break
+        finally:
+            self._events_fired += fired
+            self._running = False
         return fired
 
     def reset(self) -> None:
@@ -745,6 +803,56 @@ class WheelSimulator(Simulator):
             self._running = False
         if until is not None and not self._stop_requested and self.now < until:
             self.now = until
+        return fired
+
+    def run_until(self, horizon: int, max_events: Optional[int] = None) -> int:
+        if self._running:
+            raise RuntimeError(
+                "Simulator.run_until() is not re-entrant; "
+                "use schedule()/stop() from within callbacks"
+            )
+        limit = _NEVER if max_events is None else max_events
+        checker = self._checker
+        profiler = self._profiler
+        fired = 0
+        self._stop_requested = False
+        self._running = True
+        bucket = self._bucket
+        pool = self._event_pool
+        try:
+            while True:
+                pos = self._bucket_pos
+                if pos < len(bucket):
+                    event = bucket[pos]
+                    if event.cancelled:
+                        self._bucket_pos = pos + 1
+                        if event.poolable:
+                            event.args = ()
+                            pool.append(event)
+                        continue
+                    if event.time >= horizon or fired >= limit:
+                        break
+                    self._bucket_pos = pos + 1
+                    if checker is not None:
+                        checker.on_advance(event.time, self.now)
+                    self.now = event.time
+                    fired += 1
+                    if profiler is not None:
+                        profiler.on_event(event)
+                    seq = event.seq
+                    event.fn(*event.args)
+                    if event.poolable and event.seq == seq:
+                        event.args = ()
+                        pool.append(event)
+                    if self._stop_requested:
+                        break
+                    continue
+                if not self._advance():
+                    break
+                bucket = self._bucket
+        finally:
+            self._events_fired += fired
+            self._running = False
         return fired
 
     def reset(self) -> None:

@@ -47,6 +47,32 @@ class TestSurface:
         for name in api.__all__:
             assert getattr(api, name, None) is not None, name
 
+    def test_all_is_the_single_source_of_truth(self):
+        """``__all__`` and the module's public namespace agree exactly:
+        no duplicate entries, no public name missing from ``__all__``,
+        nothing exported that doesn't exist.  Adding a facade import
+        without listing it (or vice versa) fails here."""
+        import inspect
+
+        typing_noise = {
+            "Any", "Dict", "IO", "List", "Optional", "Sequence", "Union",
+            "annotations",
+        }
+        public = {
+            name
+            for name, value in vars(api).items()
+            if not name.startswith("_")
+            and not inspect.ismodule(value)
+            and name not in typing_noise
+        }
+        assert len(api.__all__) == len(set(api.__all__))
+        assert public == set(api.__all__)
+
+    def test_shard_and_spec_surface_is_exported(self):
+        for name in ("TopologySpec", "LeafSpineSpec", "ClosSpec",
+                     "spec_from_dict", "as_topology_spec", "run_sharded"):
+            assert name in api.__all__, name
+
     def test_package_root_reexports_facade(self):
         for name in ("run_experiment", "run_grid", "save_result",
                      "load_result", "ResultSummary", "HookSet"):

@@ -149,35 +149,35 @@ class TestSubsystemIntegration:
             assert state.audit is audit
 
 
-class TestDeprecatedProperties:
-    """The legacy hand-wired attributes: readable forever, writable only
-    with a DeprecationWarning (promoted to an error in CI)."""
+class TestRemovedLegacysetters:
+    """The legacy hand-wired attributes: readable forever, assignment a
+    hard ``AttributeError`` pointing at the HookSet API (the PR-6
+    DeprecationWarning grace period is over)."""
 
-    def _assert_deprecated_write(self, obj, attr, value):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
+    def _assert_write_rejected(self, obj, attr, value):
+        with pytest.raises(AttributeError, match="hooks.attach"):
             setattr(obj, attr, value)
-        assert any(
-            issubclass(w.category, DeprecationWarning)
-            and "deprecated hook attribute" in str(w.message)
-            for w in caught
-        ), f"{type(obj).__name__}.{attr} setter did not warn"
 
-    def test_fabric_checker_and_tracer_setters_warn(self):
+    def test_fabric_checker_and_tracer_setters_raise(self):
         fabric = make_fabric()
-        self._assert_deprecated_write(fabric, "checker", FakeChecker())
-        self._assert_deprecated_write(fabric, "tracer", FakeTracer())
+        self._assert_write_rejected(fabric, "checker", FakeChecker())
+        self._assert_write_rejected(fabric, "tracer", FakeTracer())
 
-    def test_sim_checker_and_profiler_setters_warn(self):
+    def test_sim_checker_and_profiler_setters_raise(self):
         fabric = make_fabric()
-        self._assert_deprecated_write(fabric.sim, "checker", FakeChecker())
-        self._assert_deprecated_write(fabric.sim, "profiler", object())
+        self._assert_write_rejected(fabric.sim, "checker", FakeChecker())
+        self._assert_write_rejected(fabric.sim, "profiler", object())
 
-    def test_port_checker_and_tracer_setters_warn(self):
+    def test_port_checker_and_tracer_setters_raise(self):
         fabric = make_fabric()
         port = next(iter(fabric.topology.all_ports()))
-        self._assert_deprecated_write(port, "checker", FakeChecker())
-        self._assert_deprecated_write(port, "tracer", FakeTracer())
+        self._assert_write_rejected(port, "checker", FakeChecker())
+        self._assert_write_rejected(port, "tracer", FakeTracer())
+
+    def test_rejected_write_changes_nothing(self):
+        fabric = make_fabric()
+        self._assert_write_rejected(fabric.sim, "checker", FakeChecker())
+        assert fabric.sim.checker is None
 
     def test_getters_read_silently_and_reflect_hookset(self):
         fabric = make_fabric()
@@ -190,13 +190,3 @@ class TestDeprecatedProperties:
             assert fabric.sim.checker is None
             port = next(iter(fabric.topology.all_ports()))
             assert port.tracer is tracer
-
-    def test_deprecated_write_still_works(self):
-        """The old idiom must keep functioning (tests in the wild set
-        sim.checker directly) — deprecated, not broken."""
-        fabric = make_fabric()
-        checker = FakeChecker()
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            fabric.sim.checker = checker
-        assert fabric.sim._checker is checker

@@ -149,19 +149,16 @@ class TestPeriodicSampler:
         assert sampler.mean_backlog("p") == pytest.approx(200.0)
         assert sampler.stddev_backlog("p") == pytest.approx(100.0)
 
-    def test_collector_compat_import_warns(self):
-        """The legacy path still resolves to the migrated classes, but
-        importing it is now a DeprecationWarning pointing at
+    def test_collector_shim_import_is_hard_error(self):
+        """The PR-6 compatibility shim's grace period is over: importing
+        ``repro.metrics.collector`` is a hard ImportError pointing at
         telemetry.series (in-repo callers are all migrated)."""
         import importlib
         import sys
 
-        from repro.telemetry.series import QueueSampler as NewSampler
-
         sys.modules.pop("repro.metrics.collector", None)
-        with pytest.warns(DeprecationWarning, match="telemetry.series"):
-            compat = importlib.import_module("repro.metrics.collector")
-        assert compat.QueueSampler is NewSampler
+        with pytest.raises(ImportError, match="telemetry.series"):
+            importlib.import_module("repro.metrics.collector")
 
     def test_ecn_fraction_series(self, sim):
         class FakePort:
